@@ -1,0 +1,400 @@
+//! General-purpose-platform (CPU/GPU) cost models for Figs. 1c and 7.
+//!
+//! The paper's structural argument (Section 1, Fig. 7) is that prior
+//! co-design works lose their advantage on commodity platforms:
+//!
+//! * **ViTCOD**'s 90% attention sparsity needs sparse-matmul hardware; on a
+//!   GPP the sparse attention falls back to dense kernels plus
+//!   format-handling overhead, so its delay tracks the baseline.
+//! * **HeatViT**'s token pruning produces dynamic tensor shapes; batched
+//!   GPP execution pads back to dense, so the savings vanish while the
+//!   predictor networks, token packaging (gather/scatter) and host syncs
+//!   remain as pure overhead.
+//! * **PIVOT** skips entire attention modules — static shapes, strictly
+//!   fewer kernels and FLOPs — so it speeds up on *any* platform, paying
+//!   only the entropy check and re-computation.
+//!
+//! Each platform is a small roofline: effective dense-GEMM throughput, a
+//!   utilization penalty for the small per-head attention matmuls,
+//!   memory bandwidth for elementwise traffic, per-kernel dispatch cost,
+//!   gather bandwidth and host-sync latency.
+
+use pivot_sim::VitGeometry;
+
+/// The five evaluation platforms of Figs. 1c and 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Nvidia V100 (data-center GPU).
+    V100,
+    /// Nvidia RTX 2080 Ti (desktop GPU).
+    Rtx2080Ti,
+    /// Nvidia Jetson Orin Nano (edge GPU).
+    JetsonOrinNano,
+    /// Intel Xeon (server CPU).
+    IntelXeon,
+    /// Raspberry Pi 4 (embedded CPU).
+    RaspberryPi4,
+}
+
+impl Platform {
+    /// All platforms in the paper's order (GPUs then CPUs).
+    pub const ALL: [Platform; 5] = [
+        Platform::V100,
+        Platform::Rtx2080Ti,
+        Platform::JetsonOrinNano,
+        Platform::IntelXeon,
+        Platform::RaspberryPi4,
+    ];
+
+    /// The cost-model parameters of this platform.
+    pub fn spec(self) -> PlatformSpec {
+        match self {
+            Platform::V100 => PlatformSpec {
+                name: "Nvidia V100",
+                gemm_gflops: 25_000.0,
+                attn_gemm_efficiency: 0.15,
+                softmax_gelems: 50.0,
+                mem_bw_gbs: 800.0,
+                dispatch_us: 6.0,
+                gather_gbs: 40.0,
+                sync_us: 25.0,
+            },
+            Platform::Rtx2080Ti => PlatformSpec {
+                name: "Nvidia RTX 2080 Ti",
+                gemm_gflops: 18_000.0,
+                attn_gemm_efficiency: 0.15,
+                softmax_gelems: 35.0,
+                mem_bw_gbs: 550.0,
+                dispatch_us: 6.0,
+                gather_gbs: 35.0,
+                sync_us: 25.0,
+            },
+            Platform::JetsonOrinNano => PlatformSpec {
+                name: "Jetson Orin Nano",
+                gemm_gflops: 2_200.0,
+                attn_gemm_efficiency: 0.20,
+                softmax_gelems: 5.0,
+                mem_bw_gbs: 60.0,
+                dispatch_us: 12.0,
+                gather_gbs: 6.0,
+                sync_us: 40.0,
+            },
+            Platform::IntelXeon => PlatformSpec {
+                name: "Intel Xeon",
+                gemm_gflops: 1_400.0,
+                attn_gemm_efficiency: 0.12,
+                softmax_gelems: 1.5,
+                mem_bw_gbs: 80.0,
+                dispatch_us: 0.6,
+                gather_gbs: 8.0,
+                sync_us: 1.0,
+            },
+            Platform::RaspberryPi4 => PlatformSpec {
+                name: "Raspberry Pi 4",
+                gemm_gflops: 24.0,
+                attn_gemm_efficiency: 0.15,
+                softmax_gelems: 0.08,
+                mem_bw_gbs: 4.0,
+                dispatch_us: 0.3,
+                gather_gbs: 0.5,
+                sync_us: 1.0,
+            },
+        }
+    }
+}
+
+/// Roofline parameters of one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Effective dense GEMM throughput (GFLOP/s) on large matmuls.
+    pub gemm_gflops: f64,
+    /// Fraction of `gemm_gflops` achieved on the small per-head attention
+    /// matmuls (QKᵀ, SM×V) — these are cache-hostile on CPUs and
+    /// launch-bound on GPUs.
+    pub attn_gemm_efficiency: f64,
+    /// Softmax throughput in Gelem/s — exp-bound, far below copy bandwidth
+    /// on CPUs.
+    pub softmax_gelems: f64,
+    /// Memory bandwidth for elementwise traffic (GB/s).
+    pub mem_bw_gbs: f64,
+    /// Per-kernel dispatch overhead (microseconds).
+    pub dispatch_us: f64,
+    /// Effective gather/scatter bandwidth for irregular access (GB/s).
+    pub gather_gbs: f64,
+    /// Host/device synchronization latency (microseconds).
+    pub sync_us: f64,
+}
+
+impl PlatformSpec {
+    /// Delay of a workload on this platform, in milliseconds, split into
+    /// `(compute_ms, overhead_ms)`. Compute is GEMM + elementwise;
+    /// overhead is dispatch, gather and sync — the split Fig. 7 plots.
+    pub fn delay_split_ms(&self, wl: &GppWorkload) -> (f64, f64) {
+        let compute = wl.gemm_flops / (self.gemm_gflops * 1e6)
+            + wl.attn_gemm_flops / (self.gemm_gflops * self.attn_gemm_efficiency * 1e6)
+            + wl.softmax_elems / (self.softmax_gelems * 1e6)
+            + wl.elem_bytes / (self.mem_bw_gbs * 1e6);
+        let overhead = wl.kernel_launches * self.dispatch_us * 1e-3
+            + wl.gather_bytes / (self.gather_gbs * 1e6)
+            + wl.sync_count * self.sync_us * 1e-3;
+        (compute, overhead)
+    }
+
+    /// Total delay in milliseconds.
+    pub fn delay_ms(&self, wl: &GppWorkload) -> f64 {
+        let (c, o) = self.delay_split_ms(wl);
+        c + o
+    }
+
+    /// Throughput in frames per second.
+    pub fn fps(&self, wl: &GppWorkload) -> f64 {
+        1e3 / self.delay_ms(wl)
+    }
+}
+
+/// Platform-independent operation counts of one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GppWorkload {
+    /// FLOPs in large regular matmuls (QKV, Proj, MLP, embed, head).
+    pub gemm_flops: f64,
+    /// FLOPs in the small per-head attention matmuls (QKᵀ, SM×V).
+    pub attn_gemm_flops: f64,
+    /// Softmax elements (exp-bound).
+    pub softmax_elems: f64,
+    /// Bytes of memory-bound elementwise traffic (GELU, LN).
+    pub elem_bytes: f64,
+    /// Kernel launches.
+    pub kernel_launches: f64,
+    /// Bytes of irregular gather/scatter traffic.
+    pub gather_bytes: f64,
+    /// Host/device synchronizations.
+    pub sync_count: f64,
+}
+
+impl GppWorkload {
+    /// Adds `other * scale` (for expected-value cascade math).
+    pub fn add_scaled(&mut self, other: &GppWorkload, scale: f64) {
+        self.gemm_flops += other.gemm_flops * scale;
+        self.attn_gemm_flops += other.attn_gemm_flops * scale;
+        self.softmax_elems += other.softmax_elems * scale;
+        self.elem_bytes += other.elem_bytes * scale;
+        self.kernel_launches += other.kernel_launches * scale;
+        self.gather_bytes += other.gather_bytes * scale;
+        self.sync_count += other.sync_count * scale;
+    }
+}
+
+/// Bytes per elementwise pass (fp16 read + intermediate + write).
+const ELEM_PASS_BYTES: f64 = 12.0;
+
+/// Workload of one ViT inference with the given attention-skip mask.
+///
+/// # Panics
+///
+/// Panics if the mask length does not match the geometry depth.
+pub fn effort_workload(geom: &VitGeometry, active_attention: &[bool]) -> GppWorkload {
+    assert_eq!(active_attention.len(), geom.depth, "mask/depth mismatch");
+    let t = geom.tokens as f64;
+    let d = geom.dim as f64;
+    let h = geom.heads as f64;
+    let dh = geom.head_dim() as f64;
+    let mlp = geom.mlp_hidden as f64;
+
+    let mut wl = GppWorkload {
+        // Patch embed + classifier head.
+        gemm_flops: 2.0 * ((t - 1.0) * geom.patch_dim as f64 * d + d * geom.num_classes as f64),
+        kernel_launches: 3.0,
+        ..Default::default()
+    };
+    for &active in active_attention {
+        if active {
+            wl.gemm_flops += 2.0 * (3.0 * t * d * d + t * d * d);
+            wl.attn_gemm_flops += 2.0 * 2.0 * h * t * t * dh;
+            wl.softmax_elems += h * t * t;
+            wl.elem_bytes += t * d * ELEM_PASS_BYTES;
+            wl.kernel_launches += 10.0;
+        }
+        // MLP path always runs.
+        wl.gemm_flops += 2.0 * 2.0 * t * d * mlp;
+        wl.elem_bytes += (t * mlp + t * d) * ELEM_PASS_BYTES;
+        wl.kernel_launches += 5.0;
+    }
+    wl
+}
+
+/// Baseline: the dense ViT with every attention active.
+pub fn baseline_workload(geom: &VitGeometry) -> GppWorkload {
+    effort_workload(geom, &vec![true; geom.depth])
+}
+
+/// PIVOT's cascade: the low effort always runs; a fraction `f_high`
+/// additionally runs the high effort. The entropy check adds one tiny sync
+/// per image (paper: < 0.05% of delay).
+///
+/// # Panics
+///
+/// Panics if `f_high` is outside `[0, 1]` or a mask mismatches the depth.
+pub fn pivot_workload(
+    geom: &VitGeometry,
+    low_mask: &[bool],
+    high_mask: &[bool],
+    f_high: f64,
+) -> GppWorkload {
+    assert!((0.0..=1.0).contains(&f_high), "f_high must be in [0, 1]");
+    let mut wl = effort_workload(geom, low_mask);
+    wl.sync_count += 1.0;
+    wl.add_scaled(&effort_workload(geom, high_mask), f_high);
+    wl
+}
+
+/// HeatViT on a GPP: batched execution pads the pruned tokens back to
+/// dense shapes (no compute savings), and the predictors, token packaging
+/// gathers and per-stage host syncs (for top-k) remain as overhead.
+pub fn heatvit_workload(geom: &VitGeometry, stages: usize) -> GppWorkload {
+    let mut wl = baseline_workload(geom);
+    let t = geom.tokens as f64;
+    let d = geom.dim as f64;
+    let s = stages as f64;
+    // One predictor MLP (d -> d -> d) over all tokens per stage.
+    wl.gemm_flops += s * 2.0 * 2.0 * t * d * d;
+    // Gather + scatter of the token matrix (fp16) per stage, twice (select
+    // survivors, build the package token).
+    wl.gather_bytes += s * 2.0 * 2.0 * t * d * 2.0;
+    wl.kernel_launches += s * 6.0;
+    wl.sync_count += s;
+    wl
+}
+
+/// ViTCOD on a GPP: the sparse attention runs as dense kernels (no sparse
+/// hardware), plus per-encoder sparse-format handling (mask/CSR decode).
+pub fn vitcod_workload(geom: &VitGeometry, sparsity: f64) -> GppWorkload {
+    let mut wl = baseline_workload(geom);
+    let t = geom.tokens as f64;
+    let h = geom.heads as f64;
+    // Index + value bytes of the surviving attention entries per encoder.
+    let nnz = (1.0 - sparsity) * h * t * t;
+    wl.gather_bytes += geom.depth as f64 * nnz * 6.0;
+    wl.kernel_launches += geom.depth as f64;
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deit() -> VitGeometry {
+        VitGeometry::deit_s()
+    }
+
+    fn pvds_masks() -> (Vec<bool>, Vec<bool>) {
+        // PVDS-50-like cascade: low effort 3, high effort 9, deep skips.
+        let low: Vec<bool> = (0..12).map(|i| i < 3).collect();
+        let high: Vec<bool> = (0..12).map(|i| i < 9).collect();
+        (low, high)
+    }
+
+    #[test]
+    fn baseline_flops_are_in_deit_s_range() {
+        let wl = baseline_workload(&deit());
+        let gf = (wl.gemm_flops + wl.attn_gemm_flops) / 1e9;
+        // DeiT-S is ~9.2 GFLOPs (2 x 4.6 GMACs).
+        assert!((8.0..11.0).contains(&gf), "DeiT-S GFLOPs {gf}");
+    }
+
+    /// Fig. 1c / Fig. 7: PIVOT beats the baseline on every platform.
+    #[test]
+    fn pivot_is_faster_than_baseline_everywhere() {
+        let geom = deit();
+        let (low, high) = pvds_masks();
+        let base = baseline_workload(&geom);
+        let pivot = pivot_workload(&geom, &low, &high, 0.2);
+        for p in Platform::ALL {
+            let spec = p.spec();
+            let speedup = spec.delay_ms(&base) / spec.delay_ms(&pivot);
+            assert!(
+                (1.1..2.0).contains(&speedup),
+                "{}: PIVOT speedup {speedup:.2} outside the paper's 1.2-1.5x regime",
+                spec.name
+            );
+        }
+    }
+
+    /// Fig. 7: ViTCOD's delay is similar to the baseline on GPPs.
+    #[test]
+    fn vitcod_tracks_baseline_everywhere() {
+        let geom = deit();
+        let base = baseline_workload(&geom);
+        let vitcod = vitcod_workload(&geom, 0.9);
+        for p in Platform::ALL {
+            let spec = p.spec();
+            let ratio = spec.delay_ms(&vitcod) / spec.delay_ms(&base);
+            assert!(
+                (1.0..1.25).contains(&ratio),
+                "{}: ViTCOD delay ratio {ratio:.2} should be ~baseline",
+                spec.name
+            );
+        }
+    }
+
+    /// Fig. 7: HeatViT is slower than the baseline on GPPs.
+    #[test]
+    fn heatvit_is_slower_than_baseline_everywhere() {
+        let geom = deit();
+        let base = baseline_workload(&geom);
+        let heatvit = heatvit_workload(&geom, 3);
+        for p in Platform::ALL {
+            let spec = p.spec();
+            let ratio = spec.delay_ms(&heatvit) / spec.delay_ms(&base);
+            assert!(
+                ratio > 1.02,
+                "{}: HeatViT delay ratio {ratio:.2} must show overhead",
+                spec.name
+            );
+        }
+    }
+
+    /// PIVOT's GPP overhead (dispatch/gather/sync beyond compute) stays
+    /// small — the paper quotes ~6% total overhead.
+    #[test]
+    fn pivot_overhead_share_is_small_on_cpus() {
+        let geom = deit();
+        let (low, high) = pvds_masks();
+        let pivot = pivot_workload(&geom, &low, &high, 0.2);
+        for p in [Platform::IntelXeon, Platform::RaspberryPi4] {
+            let spec = p.spec();
+            let (compute, overhead) = spec.delay_split_ms(&pivot);
+            let share = overhead / (compute + overhead);
+            assert!(share < 0.10, "{}: overhead share {share:.3}", spec.name);
+        }
+    }
+
+    #[test]
+    fn platforms_are_ordered_by_capability() {
+        let base = baseline_workload(&deit());
+        let v100 = Platform::V100.spec().delay_ms(&base);
+        let xeon = Platform::IntelXeon.spec().delay_ms(&base);
+        let rpi = Platform::RaspberryPi4.spec().delay_ms(&base);
+        assert!(v100 < xeon && xeon < rpi);
+        // RPi4 runs DeiT-S at a fraction of a frame per second to a few fps.
+        let fps = Platform::RaspberryPi4.spec().fps(&base);
+        assert!((0.2..20.0).contains(&fps), "RPi4 fps {fps}");
+    }
+
+    #[test]
+    fn add_scaled_is_linear() {
+        let geom = deit();
+        let base = baseline_workload(&geom);
+        let mut doubled = base;
+        doubled.add_scaled(&base, 1.0);
+        assert!((doubled.gemm_flops - 2.0 * base.gemm_flops).abs() < 1.0);
+        assert!((doubled.kernel_launches - 2.0 * base.kernel_launches).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask/depth mismatch")]
+    fn bad_mask_panics() {
+        let _ = effort_workload(&deit(), &[true; 3]);
+    }
+}

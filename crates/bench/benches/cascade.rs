@@ -1,0 +1,41 @@
+//! Cascade inference cost: easy inputs (low effort only) vs hard inputs
+//! (low + high re-computation) vs always-full baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_core::MultiEffortVit;
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::{VisionTransformer, VitConfig};
+
+fn bench_cascade(c: &mut Criterion) {
+    let cfg = VitConfig::tiny();
+    let mut low = VisionTransformer::new(&cfg, &mut Rng::new(0));
+    low.set_active_attentions(&[0, 1, 2]);
+    let high = VisionTransformer::new(&cfg, &mut Rng::new(0));
+    let mut rng = Rng::new(2);
+    let image = Matrix::rand_uniform(32, 32, 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("cascade");
+    group.sample_size(20);
+
+    // Threshold 1.0: every input exits at the low effort (easy-path cost).
+    let easy_gate = MultiEffortVit::new(low.clone(), high.clone(), 1.0);
+    group.bench_function("low-exit inference", |b| {
+        b.iter(|| easy_gate.infer(black_box(&image)))
+    });
+
+    // Threshold 0.0: every input escalates (worst-case re-computation).
+    let hard_gate = MultiEffortVit::new(low.clone(), high.clone(), 0.0);
+    group.bench_function("escalated inference", |b| {
+        b.iter(|| hard_gate.infer(black_box(&image)))
+    });
+
+    // The always-full baseline for comparison.
+    group.bench_function("baseline full ViT", |b| {
+        b.iter(|| high.infer(black_box(&image)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! CKA computation cost at calibration-batch scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_cka::{linear_cka, stack_flattened, CkaMatrix};
+use pivot_tensor::{Matrix, Rng};
+
+fn bench_cka(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let mut group = c.benchmark_group("cka");
+    group.sample_size(15);
+
+    // A 128-image batch of flattened tiny-ViT activations (17 x 64).
+    let x = Matrix::randn(128, 17 * 64, 1.0, &mut rng);
+    let y = Matrix::randn(128, 17 * 64, 1.0, &mut rng);
+    group.bench_function("linear_cka 128x1088", |b| {
+        b.iter(|| linear_cka(black_box(&x), black_box(&y)))
+    });
+
+    let samples: Vec<Matrix> = (0..64).map(|_| Matrix::randn(17, 64, 1.0, &mut rng)).collect();
+    group.bench_function("stack_flattened 64x(17x64)", |b| {
+        b.iter(|| stack_flattened(black_box(&samples)))
+    });
+
+    // Full 12-encoder CKA matrix from smaller reps.
+    let reps: Vec<Matrix> = (0..12).map(|_| Matrix::randn(64, 17 * 16, 1.0, &mut rng)).collect();
+    group.bench_function("CkaMatrix 12 encoders", |b| {
+        b.iter(|| CkaMatrix::compute(black_box(&reps), black_box(&reps)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cka);
+criterion_main!(benches);

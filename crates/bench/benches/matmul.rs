@@ -1,0 +1,43 @@
+//! Microbenchmarks of the dense matmul kernels under `pivot-tensor`,
+//! at the shapes the tiny ViTs actually execute.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_tensor::{Matrix, Rng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(0);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+
+    // Tiny-ViT projection: tokens x dim * dim x dim.
+    let x17 = Matrix::randn(17, 64, 1.0, &mut rng);
+    let w64 = Matrix::randn(64, 64, 1.0, &mut rng);
+    group.bench_function("17x64 * 64x64 (qkv slice)", |b| {
+        b.iter(|| black_box(&x17).matmul(black_box(&w64)))
+    });
+
+    // MLP expansion.
+    let w_up = Matrix::randn(64, 128, 1.0, &mut rng);
+    group.bench_function("17x64 * 64x128 (mlp fc1)", |b| {
+        b.iter(|| black_box(&x17).matmul(black_box(&w_up)))
+    });
+
+    // Attention scores via the no-transpose kernel.
+    let q = Matrix::randn(17, 16, 1.0, &mut rng);
+    let k = Matrix::randn(17, 16, 1.0, &mut rng);
+    group.bench_function("17x16 * (17x16)^T (scores)", |b| {
+        b.iter(|| black_box(&q).matmul_transpose_b(black_box(&k)))
+    });
+
+    // Gradient-style A^T B.
+    let a = Matrix::randn(17, 64, 1.0, &mut rng);
+    let g = Matrix::randn(17, 64, 1.0, &mut rng);
+    group.bench_function("(17x64)^T * 17x64 (weight grad)", |b| {
+        b.iter(|| black_box(&a).matmul_transpose_a(black_box(&g)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! PIVOT-Sim throughput: how many full-model cycle-accurate evaluations
+//! per second the simulator sustains (it sits inside the Phase-2 loop, so
+//! this matters for search cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_sim::{AcceleratorConfig, Simulator, VitGeometry};
+
+fn bench_sim(c: &mut Criterion) {
+    let sim = Simulator::new(AcceleratorConfig::zcu102());
+    let deit = VitGeometry::deit_s();
+    let lvvit = VitGeometry::lvvit_s();
+    let full12 = vec![true; 12];
+    let full16 = vec![true; 16];
+    let half12: Vec<bool> = (0..12).map(|i| i < 6).collect();
+
+    let mut group = c.benchmark_group("pivot_sim");
+
+    group.bench_function("simulate DeiT-S full", |b| {
+        b.iter(|| sim.simulate(black_box(&deit), black_box(&full12)))
+    });
+    group.bench_function("simulate DeiT-S effort 6", |b| {
+        b.iter(|| sim.simulate(black_box(&deit), black_box(&half12)))
+    });
+    group.bench_function("simulate LVViT-S full", |b| {
+        b.iter(|| sim.simulate(black_box(&lvvit), black_box(&full16)))
+    });
+
+    let low = sim.simulate(&deit, &half12);
+    let high = sim.simulate(&deit, &full12);
+    group.bench_function("combine_efforts", |b| {
+        b.iter(|| pivot_sim::combine_efforts(black_box(&low), black_box(&high), 0.75))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

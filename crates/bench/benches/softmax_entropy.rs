@@ -1,0 +1,36 @@
+//! Microbenchmarks of the non-linear kernels: softmax, entropy, GELU.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_nn::normalized_entropy;
+use pivot_tensor::{gelu, softmax_row, Matrix, Rng};
+
+fn bench_nonlinear(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let mut group = c.benchmark_group("nonlinear");
+    group.sample_size(30);
+
+    let row197: Vec<f32> = (0..197).map(|_| rng.normal()).collect();
+    group.bench_function("softmax_row (197)", |b| {
+        b.iter(|| softmax_row(black_box(&row197)))
+    });
+
+    let logits = Matrix::randn(1, 1000, 1.0, &mut rng);
+    group.bench_function("normalized_entropy (K=1000)", |b| {
+        b.iter(|| normalized_entropy(black_box(&logits)))
+    });
+
+    let logits10 = Matrix::randn(1, 10, 1.0, &mut rng);
+    group.bench_function("normalized_entropy (K=10)", |b| {
+        b.iter(|| normalized_entropy(black_box(&logits10)))
+    });
+
+    let acts = Matrix::randn(17, 128, 1.0, &mut rng);
+    group.bench_function("gelu map (17x128)", |b| {
+        b.iter(|| black_box(&acts).map(gelu))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonlinear);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs the ablation suite of DESIGN.md section 6: path selection, entropy
+//! regularizer, gating policy, dataflow, ladder depth and quantization.
+use pivot_bench::experiments as exp;
+
+fn main() {
+    let repro = pivot_bench::Reproduction::load();
+    exp::ablation_path_selection(&repro, 6);
+    exp::ablation_entropy_regularizer(&repro);
+    exp::ablation_gating(&repro);
+    exp::ablation_dataflow();
+    exp::ablation_ladder(&repro);
+    exp::ablation_quantization(&repro);
+    println!("\nAblation suite complete.");
+}

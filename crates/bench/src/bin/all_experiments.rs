@@ -1,0 +1,28 @@
+//! Runs every table and figure reproduction against one shared state.
+//! This is the source of the numbers recorded in EXPERIMENTS.md.
+use pivot_bench::experiments as exp;
+
+fn main() {
+    let repro = pivot_bench::Reproduction::load();
+    exp::fig1b(&repro.sim);
+    exp::fig3a(&repro);
+    exp::fig4a(&repro, 6, 6);
+    exp::fig4b();
+    exp::fig4c(&repro);
+    exp::table2(&repro);
+    exp::table3(&repro);
+    exp::fig6a(&repro);
+    exp::fig6b(&repro);
+    exp::table4(&repro);
+    exp::fig1c(&repro);
+    exp::fig7(&repro);
+    exp::fig8(&repro);
+    exp::fig9(&repro);
+    exp::ablation_path_selection(&repro, 6);
+    exp::ablation_entropy_regularizer(&repro);
+    exp::ablation_gating(&repro);
+    exp::ablation_dataflow();
+    exp::ablation_ladder(&repro);
+    exp::ablation_quantization(&repro);
+    println!("\nAll experiments complete.");
+}

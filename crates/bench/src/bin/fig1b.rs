@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1b: delay distribution across ViT modules.
+fn main() {
+    let sim = pivot_bench::Reproduction::simulator();
+    pivot_bench::experiments::fig1b(&sim);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4a: path accuracy vs Path-Score at a fixed effort.
+fn main() {
+    let repro = pivot_bench::Reproduction::load();
+    pivot_bench::experiments::fig4a(&repro, 6, 6);
+}

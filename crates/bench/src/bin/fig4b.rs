@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4b: Phase-2 design-space size, random vs PIVOT.
+fn main() {
+    pivot_bench::experiments::fig4b();
+}

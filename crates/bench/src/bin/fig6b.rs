@@ -1,0 +1,5 @@
+//! Regenerates Fig6b of the paper (see DESIGN.md section 5).
+fn main() {
+    let repro = pivot_bench::Reproduction::load();
+    pivot_bench::experiments::fig6b(&repro);
+}

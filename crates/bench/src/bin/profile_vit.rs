@@ -1,0 +1,41 @@
+//! Per-layer PIVOT-Sim profile of a ViT on the ZCU102 — the per-layer view
+//! a SCALE-Sim-class simulator exports.
+//!
+//! Usage: `cargo run -p pivot-bench --bin profile_vit [deit|lvvit] [effort]`
+
+use pivot_sim::{AcceleratorConfig, Simulator, VitGeometry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let geom = match args.get(1).map(String::as_str) {
+        Some("lvvit") => VitGeometry::lvvit_s(),
+        _ => VitGeometry::deit_s(),
+    };
+    let effort: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(geom.depth)
+        .min(geom.depth);
+    let mask: Vec<bool> = (0..geom.depth).map(|i| i < effort).collect();
+
+    let sim = Simulator::new(AcceleratorConfig::zcu102());
+    let (perf, layers) = sim.simulate_detailed(&geom, &mask);
+
+    println!("{} @ effort {effort} on ZCU102 (64x36 IS, 125 MHz)", geom.name);
+    println!(
+        "{:<16} {:>4} {:>10} {:>12} {:>12} {:>7}",
+        "layer", "unit", "delay (ms)", "MACs", "DRAM bytes", "util %"
+    );
+    for l in &layers {
+        println!(
+            "{:<16} {:>4} {:>10.4} {:>12} {:>12} {:>7.1}",
+            l.name,
+            if l.on_ps { "PS" } else { "PL" },
+            l.delay_ms,
+            l.macs,
+            l.dram_bytes,
+            100.0 * l.utilization
+        );
+    }
+    println!("\ntotal: {perf}");
+}

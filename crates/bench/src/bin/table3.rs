@@ -1,0 +1,5 @@
+//! Regenerates Table3 of the paper (see DESIGN.md section 5).
+fn main() {
+    let repro = pivot_bench::Reproduction::load();
+    pivot_bench::experiments::table3(&repro);
+}

@@ -1,0 +1,136 @@
+//! Delay/energy breakdown experiments: Fig. 1b, Fig. 6a, Fig. 6b.
+
+use super::{pvds50, pvls50};
+use crate::harness::Reproduction;
+use crate::Table;
+use pivot_sim::{EnergyComponent, ModuleClass, Simulator, VitGeometry};
+
+/// Attention-vs-rest delay split of one model (Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayShare {
+    /// Fraction of total delay in the attention module
+    /// (QKV + QKᵀ + SM + SM×V + Proj).
+    pub attention_fraction: f64,
+    /// Total baseline delay (ms).
+    pub total_ms: f64,
+}
+
+/// Fig. 1b: delay distribution across ViT modules for the DeiT-S and
+/// LVViT-S baselines. The paper reports attention taking 77.5-81.9% of
+/// inference delay.
+pub fn fig1b(sim: &Simulator) -> Vec<DelayShare> {
+    println!("\n=== Fig. 1b: delay distribution across ViT modules ===");
+    println!("paper: attention (QKV+QKT+SM+SMxV+Proj) is 77.5%-81.9% of delay\n");
+    let mut out = Vec::new();
+    let mut table = Table::new(&[
+        "Model", "Total (ms)", "Attention %", "  QKV/Proj/QKT/SMV %", "Softmax %", "MLP %",
+        "Other %",
+    ]);
+    for (geom, depth) in [(VitGeometry::deit_s(), 12), (VitGeometry::lvvit_s(), 16)] {
+        let perf = sim.simulate(&geom, &vec![true; depth]);
+        let b = &perf.breakdown;
+        let total = perf.delay_ms;
+        let attention = b.attention_total_ms() / total;
+        let other = 1.0
+            - attention
+            - b.fraction(ModuleClass::Mlp);
+        table.row_owned(vec![
+            geom.name.clone(),
+            format!("{total:.2}"),
+            format!("{:.1}", attention * 100.0),
+            format!("{:.1}", b.fraction(ModuleClass::AttentionMac) * 100.0),
+            format!("{:.1}", b.fraction(ModuleClass::Softmax) * 100.0),
+            format!("{:.1}", b.fraction(ModuleClass::Mlp) * 100.0),
+            format!("{:.1}", other * 100.0),
+        ]);
+        out.push(DelayShare { attention_fraction: attention, total_ms: total });
+    }
+    table.print();
+    out
+}
+
+/// Fig. 6a: delay breakdown (Attention MAC / Softmax / MLP) for the
+/// baselines vs PVDS-50 / PVLS-50. The paper reports softmax shrinking
+/// from 60% (63%) to 43% (48%) and MLP growing due to re-computation.
+pub fn fig6a(repro: &Reproduction) -> Vec<(String, f64, f64, f64)> {
+    println!("\n=== Fig. 6a: delay breakdown across encoder modules ===");
+    println!("paper: softmax 60%->43% (DeiT-S), 63%->48% (LVViT-S); MLP share grows\n");
+    let mut rows = Vec::new();
+    let mut table =
+        Table::new(&["Config", "Attention MAC %", "Softmax %", "MLP %", "Total (ms)"]);
+
+    let mut push = |name: String, breakdown: &pivot_sim::DelayBreakdown| {
+        let total = breakdown.total_ms();
+        let mac = breakdown.get(ModuleClass::AttentionMac) / total;
+        let sm = breakdown.get(ModuleClass::Softmax) / total;
+        let mlp = breakdown.get(ModuleClass::Mlp) / total;
+        table.row_owned(vec![
+            name.clone(),
+            format!("{:.1}", mac * 100.0),
+            format!("{:.1}", sm * 100.0),
+            format!("{:.1}", mlp * 100.0),
+            format!("{total:.2}"),
+        ]);
+        rows.push((name, mac, sm, mlp));
+    };
+
+    let deit_base = repro.sim.simulate(&repro.deit.geometry, &[true; 12]);
+    push("DeiT-S".into(), &deit_base.breakdown);
+    let pvds = pvds50(repro);
+    push(format!("PVDS-50 [{}+{}]", pvds.low_effort, pvds.high_effort), &pvds.perf.breakdown);
+
+    let lv_base = repro.sim.simulate(&repro.lvvit.geometry, &[true; 16]);
+    push("LVViT-S".into(), &lv_base.breakdown);
+    let pvls = pvls50(repro);
+    push(format!("PVLS-50 [{}+{}]", pvls.low_effort, pvls.high_effort), &pvls.perf.breakdown);
+
+    table.print();
+    rows
+}
+
+/// Per-component energy reduction of a PIVOT point vs its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReduction {
+    /// Configuration label.
+    pub label: String,
+    /// `(component, baseline J, pivot J, reduction factor)`.
+    pub components: Vec<(EnergyComponent, f64, f64, f64)>,
+}
+
+/// Fig. 6b: energy breakdown across the PE array, SRAM, periphery and PS
+/// for the baselines vs PVDS-50 / PVLS-50. The paper reports ~2x energy
+/// reduction in the PS and 1.6-1.8x in the PL components.
+pub fn fig6b(repro: &Reproduction) -> Vec<EnergyReduction> {
+    println!("\n=== Fig. 6b: energy breakdown across FPGA resources ===");
+    println!("paper: PS ~2x reduction; PE/SRAM/periphery 1.6-1.8x (see EXPERIMENTS.md");
+    println!("for the discussion of the paper's internal inconsistency here)\n");
+    let mut out = Vec::new();
+    let mut table = Table::new(&[
+        "Model", "Component", "Baseline (mJ)", "PIVOT (mJ)", "Reduction",
+    ]);
+    for (family, label, result) in [
+        (&repro.deit, "PVDS-50", pvds50(repro)),
+        (&repro.lvvit, "PVLS-50", pvls50(repro)),
+    ] {
+        let base = repro
+            .sim
+            .simulate(&family.geometry, &vec![true; family.geometry.depth]);
+        let mut components = Vec::new();
+        for c in EnergyComponent::ALL {
+            let b = base.energy.get(c);
+            let p = result.perf.energy.get(c);
+            let reduction = b / p;
+            table.row_owned(vec![
+                format!("{} vs {label}", family.label),
+                c.name().to_string(),
+                format!("{:.1}", b * 1e3),
+                format!("{:.1}", p * 1e3),
+                format!("{reduction:.2}x"),
+            ]);
+            components.push((c, b, p, reduction));
+        }
+        out.push(EnergyReduction { label: label.to_string(), components });
+    }
+    table.print();
+    out
+}

@@ -1,0 +1,20 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! PIVOT paper (see `DESIGN.md` §5 for the index).
+//!
+//! Each experiment is a function in [`experiments`] that takes the shared
+//! [`Reproduction`] state and prints a paper-style report (with the paper's
+//! reference values alongside). The binaries in `src/bin/` are thin
+//! wrappers; `all_experiments` runs everything against one shared state and
+//! is what `EXPERIMENTS.md` is produced from.
+//!
+//! Trained models are checkpointed under `target/pivot-cache/` so repeated
+//! runs skip the (single-core) training.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{FamilyArtifacts, Profile, Reproduction};
+pub use table::Table;

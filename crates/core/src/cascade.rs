@@ -1,0 +1,324 @@
+//! The entropy-gated multi-effort inference engine (paper Fig. 2a).
+
+use pivot_data::Sample;
+use pivot_nn::normalized_entropy;
+use pivot_tensor::Matrix;
+use pivot_vit::VisionTransformer;
+
+/// Outcome of one cascaded inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeOutcome {
+    /// Predicted class.
+    pub prediction: usize,
+    /// Normalized entropy of the low-effort logits (paper Eq. 3).
+    pub entropy_low: f32,
+    /// Whether the high effort had to re-infer this input.
+    pub used_high: bool,
+    /// Logits of whichever effort produced the prediction.
+    pub logits: Matrix,
+}
+
+/// Aggregate statistics of a cascaded evaluation, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CascadeStats {
+    /// Inputs classified by the low effort (`E(x) < Th`).
+    pub n_low: usize,
+    /// Inputs escalated to the high effort.
+    pub n_high: usize,
+    /// Correct low-effort classifications (`C_L`).
+    pub c_low: usize,
+    /// Incorrect low-effort classifications (`I_L`).
+    pub i_low: usize,
+    /// Correct high-effort classifications (`C_H`).
+    pub c_high: usize,
+    /// Incorrect high-effort classifications (`I_H`).
+    pub i_high: usize,
+}
+
+impl CascadeStats {
+    /// Total inputs evaluated.
+    pub fn total(&self) -> usize {
+        self.n_low + self.n_high
+    }
+
+    /// Fraction classified by the low effort (`F_L`).
+    pub fn f_low(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.n_low as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction escalated to the high effort (`F_H`).
+    pub fn f_high(&self) -> f64 {
+        1.0 - self.f_low()
+    }
+
+    /// Overall accuracy, computed from `C_L` and `C_H` as in Fig. 2a.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.c_low + self.c_high) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A two-effort ViT: all inputs run the low effort; those with logit
+/// entropy above the threshold re-run the high effort.
+///
+/// # Example
+///
+/// ```
+/// use pivot_core::MultiEffortVit;
+/// use pivot_tensor::{Matrix, Rng};
+/// use pivot_vit::{VisionTransformer, VitConfig};
+///
+/// let cfg = VitConfig::test_small();
+/// let mut rng = Rng::new(0);
+/// let mut low = VisionTransformer::new(&cfg, &mut rng);
+/// low.set_active_attentions(&[0]);
+/// let high = low.clone();
+/// let cascade = MultiEffortVit::new(low, high, 0.5);
+/// let out = cascade.infer(&Matrix::zeros(16, 16));
+/// assert!(out.prediction < 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiEffortVit {
+    low: VisionTransformer,
+    high: VisionTransformer,
+    threshold: f32,
+}
+
+impl MultiEffortVit {
+    /// Creates a cascade from a low- and a high-effort model and an entropy
+    /// threshold `Th`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not in `[0, 1]` or the models disagree on
+    /// class count.
+    pub fn new(low: VisionTransformer, high: VisionTransformer, threshold: f32) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert_eq!(
+            low.config().num_classes,
+            high.config().num_classes,
+            "efforts must share the class space"
+        );
+        Self { low, high, threshold }
+    }
+
+    /// The entropy threshold `Th`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Updates the entropy threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not in `[0, 1]`.
+    pub fn set_threshold(&mut self, threshold: f32) {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        self.threshold = threshold;
+    }
+
+    /// The low-effort model.
+    pub fn low(&self) -> &VisionTransformer {
+        &self.low
+    }
+
+    /// The high-effort model.
+    pub fn high(&self) -> &VisionTransformer {
+        &self.high
+    }
+
+    /// Runs the input-difficulty-aware inference of Fig. 2a on one image.
+    pub fn infer(&self, image: &Matrix) -> CascadeOutcome {
+        let logits_low = self.low.infer(image);
+        let entropy_low = normalized_entropy(&logits_low);
+        if entropy_low < self.threshold {
+            CascadeOutcome {
+                prediction: logits_low.row_argmax(0),
+                entropy_low,
+                used_high: false,
+                logits: logits_low,
+            }
+        } else {
+            let logits_high = self.high.infer(image);
+            CascadeOutcome {
+                prediction: logits_high.row_argmax(0),
+                entropy_low,
+                used_high: true,
+                logits: logits_high,
+            }
+        }
+    }
+
+    /// Evaluates the cascade on labeled samples, producing the paper's
+    /// `C_L/I_L/C_H/I_H/F_L/F_H` statistics.
+    pub fn evaluate(&self, samples: &[Sample]) -> CascadeStats {
+        let mut stats = CascadeStats::default();
+        for sample in samples {
+            let outcome = self.infer(&sample.image);
+            let correct = outcome.prediction == sample.label;
+            if outcome.used_high {
+                stats.n_high += 1;
+                if correct {
+                    stats.c_high += 1;
+                } else {
+                    stats.i_high += 1;
+                }
+            } else {
+                stats.n_low += 1;
+                if correct {
+                    stats.c_low += 1;
+                } else {
+                    stats.i_low += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Ablation: routes by **ground-truth difficulty** instead of entropy —
+    /// samples with `difficulty < difficulty_threshold` take the low
+    /// effort. This is the oracle upper bound on input-aware gating; the
+    /// synthetic dataset's difficulty labels make it measurable (ImageNet
+    /// has no such labels, so the paper cannot report this).
+    pub fn evaluate_with_oracle(
+        &self,
+        samples: &[Sample],
+        difficulty_threshold: f32,
+    ) -> CascadeStats {
+        let mut stats = CascadeStats::default();
+        for sample in samples {
+            let easy = sample.difficulty < difficulty_threshold;
+            let model = if easy { &self.low } else { &self.high };
+            let correct = model.infer(&sample.image).row_argmax(0) == sample.label;
+            if easy {
+                stats.n_low += 1;
+                if correct {
+                    stats.c_low += 1;
+                } else {
+                    stats.i_low += 1;
+                }
+            } else {
+                stats.n_high += 1;
+                if correct {
+                    stats.c_high += 1;
+                } else {
+                    stats.i_high += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// The fraction of `samples` the low effort would classify at a given
+    /// threshold, without running the high effort (used by Phase 2's
+    /// threshold iteration).
+    pub fn f_low_at(&self, samples: &[Sample], threshold: f32) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let below = samples
+            .iter()
+            .filter(|s| normalized_entropy(&self.low.infer(&s.image)) < threshold)
+            .count();
+        below as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Rng;
+    use pivot_vit::VitConfig;
+
+    fn models(seed: u64) -> (VisionTransformer, VisionTransformer) {
+        let cfg = VitConfig::test_small();
+        let mut rng = Rng::new(seed);
+        let mut low = VisionTransformer::new(&cfg, &mut rng);
+        low.set_active_attentions(&[0]);
+        let high = VisionTransformer::new(&cfg, &mut Rng::new(seed + 1));
+        (low, high)
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        pivot_data::Dataset::generate_difficulty_stripes(
+            &pivot_data::DatasetConfig::small(),
+            &[0.2, 0.8],
+            n / 2,
+            seed,
+        )
+    }
+
+    #[test]
+    fn threshold_zero_always_escalates() {
+        let (low, high) = models(0);
+        let cascade = MultiEffortVit::new(low, high, 0.0);
+        let stats = cascade.evaluate(&samples(20, 1));
+        assert_eq!(stats.n_low, 0);
+        assert_eq!(stats.n_high, 20);
+        assert_eq!(stats.f_high(), 1.0);
+    }
+
+    #[test]
+    fn threshold_one_never_escalates() {
+        let (low, high) = models(2);
+        let cascade = MultiEffortVit::new(low, high, 1.0);
+        let stats = cascade.evaluate(&samples(20, 3));
+        assert_eq!(stats.n_high, 0);
+        assert_eq!(stats.f_low(), 1.0);
+    }
+
+    #[test]
+    fn f_low_is_monotone_in_threshold() {
+        let (low, high) = models(4);
+        let cascade = MultiEffortVit::new(low, high, 0.5);
+        let set = samples(30, 5);
+        let mut prev = 0.0;
+        for th in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let f = cascade.f_low_at(&set, th);
+            assert!(f >= prev, "F_L not monotone at Th={th}");
+            prev = f;
+        }
+        assert_eq!(cascade.f_low_at(&set, 1.0), 1.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (low, high) = models(6);
+        let cascade = MultiEffortVit::new(low, high, 0.5);
+        let set = samples(40, 7);
+        let stats = cascade.evaluate(&set);
+        assert_eq!(stats.total(), 40);
+        assert_eq!(stats.n_low, stats.c_low + stats.i_low);
+        assert_eq!(stats.n_high, stats.c_high + stats.i_high);
+        assert!((stats.f_low() + stats.f_high() - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&stats.accuracy()));
+    }
+
+    #[test]
+    fn outcome_reports_matching_logits() {
+        let (low, high) = models(8);
+        let cascade = MultiEffortVit::new(low.clone(), high.clone(), 0.5);
+        let set = samples(10, 9);
+        for s in &set {
+            let out = cascade.infer(&s.image);
+            let expected =
+                if out.used_high { high.infer(&s.image) } else { low.infer(&s.image) };
+            assert!(out.logits.approx_eq(&expected, 1e-6));
+            assert_eq!(out.prediction, expected.row_argmax(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn invalid_threshold_panics() {
+        let (low, high) = models(10);
+        let _ = MultiEffortVit::new(low, high, 1.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! PIVOT's co-optimization framework: input-aware attention-path selection.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! substrates in the rest of the workspace:
+//!
+//! * [`path`] — attention-skip path configurations and enumeration.
+//! * [`score`] — the Path-Score of Algorithm 1, computed from a
+//!   [`pivot_cka::CkaMatrix`].
+//! * [`phase1`] — optimal-path selection per effort (Fig. 2b).
+//! * [`cascade`] — the entropy-gated low/high effort inference engine
+//!   (Fig. 2a) and its accuracy calculator (`C_L`, `I_L`, `C_H`, `I_H`,
+//!   `F_L`, `F_H`).
+//! * [`phase2`] — the hardware-in-the-loop search for the optimal effort
+//!   combination under LEC and delay constraints (Fig. 2c), with
+//!   `pivot-sim` in the loop.
+//! * [`pipeline`] — the end-to-end flow: train a teacher, build the CKA
+//!   matrix, select and fine-tune every effort.
+//! * [`search_space`] — design-space accounting (Fig. 4b).
+//! * [`train_cost`] — GPU-hours model for training all efforts (Fig. 4c).
+
+#![deny(missing_docs)]
+
+pub mod cascade;
+pub mod multilevel;
+pub mod path;
+pub mod phase1;
+pub mod phase2;
+pub mod pipeline;
+pub mod score;
+pub mod search_space;
+pub mod train_cost;
+
+pub use cascade::{CascadeOutcome, CascadeStats, MultiEffortVit};
+pub use multilevel::{EffortLadder, LadderOutcome, LadderStats};
+pub use path::PathConfig;
+pub use phase1::{select_optimal_path, Phase1Result, ScoredPath};
+pub use phase2::{EffortModel, Phase2Config, Phase2Result, Phase2Search};
+pub use pipeline::{compute_cka_matrix, PipelineConfig, PivotArtifacts, PivotPipeline};
+pub use score::path_score;
+pub use train_cost::TrainCostModel;

@@ -1,0 +1,273 @@
+//! Multi-level effort cascades — the natural extension of the paper's
+//! two-effort scheme (Section 5 positions PIVOT as a framework for future
+//! ViT-hardware co-optimization; a deeper effort ladder is the first step).
+//!
+//! An [`EffortLadder`] holds `N >= 2` efforts with `N - 1` increasing
+//! entropy thresholds: an input ascends the ladder until its entropy at
+//! some level falls below that level's threshold (the last level accepts
+//! everything). With `N = 2` this is exactly the paper's low/high cascade.
+
+use crate::cascade::CascadeStats;
+use pivot_data::Sample;
+use pivot_nn::normalized_entropy;
+use pivot_tensor::Matrix;
+use pivot_vit::VisionTransformer;
+
+/// Outcome of one multi-level inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderOutcome {
+    /// Index of the level that produced the prediction.
+    pub level: usize,
+    /// Predicted class.
+    pub prediction: usize,
+    /// Entropy observed at each visited level.
+    pub entropies: Vec<f32>,
+}
+
+/// Per-level statistics of a ladder evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LadderStats {
+    /// `(classified, correct)` per level.
+    pub per_level: Vec<(usize, usize)>,
+}
+
+impl LadderStats {
+    /// Total inputs evaluated.
+    pub fn total(&self) -> usize {
+        self.per_level.iter().map(|&(n, _)| n).sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = self.per_level.iter().map(|&(_, c)| c).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Fraction of inputs classified at each level.
+    pub fn level_fractions(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.per_level.iter().map(|&(n, _)| n as f64 / total).collect()
+    }
+
+    /// Average number of model evaluations per input (1 = every input
+    /// exits at the first level).
+    pub fn mean_inferences(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: usize = self
+            .per_level
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, _))| (i + 1) * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// An `N`-level effort ladder with entropy gates between levels.
+///
+/// # Example
+///
+/// ```
+/// use pivot_core::multilevel::EffortLadder;
+/// use pivot_tensor::{Matrix, Rng};
+/// use pivot_vit::{VisionTransformer, VitConfig};
+///
+/// let cfg = VitConfig::test_small();
+/// let mut rng = Rng::new(0);
+/// let mut low = VisionTransformer::new(&cfg, &mut rng);
+/// low.set_active_attentions(&[0]);
+/// let mut mid = low.clone();
+/// mid.set_active_attentions(&[0, 1]);
+/// let high = low.clone();
+/// let ladder = EffortLadder::new(vec![low, mid, high], vec![0.4, 0.7]);
+/// let out = ladder.infer(&Matrix::zeros(16, 16));
+/// assert!(out.level < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EffortLadder {
+    levels: Vec<VisionTransformer>,
+    thresholds: Vec<f32>,
+}
+
+impl EffortLadder {
+    /// Creates a ladder from models ordered low effort -> high effort and
+    /// `levels.len() - 1` thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are given, the threshold count is
+    /// not `levels - 1`, a threshold is outside `[0, 1]`, or thresholds are
+    /// not non-decreasing (a later gate must not be stricter: otherwise an
+    /// input could bypass a level it would have accepted).
+    pub fn new(levels: Vec<VisionTransformer>, thresholds: Vec<f32>) -> Self {
+        assert!(levels.len() >= 2, "a ladder needs at least two levels");
+        assert_eq!(
+            thresholds.len(),
+            levels.len() - 1,
+            "need one threshold per gate (levels - 1)"
+        );
+        let mut prev = 0.0f32;
+        for &t in &thresholds {
+            assert!((0.0..=1.0).contains(&t), "threshold {t} out of [0, 1]");
+            assert!(t >= prev, "thresholds must be non-decreasing");
+            prev = t;
+        }
+        Self { levels, thresholds }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level models, low to high effort.
+    pub fn levels(&self) -> &[VisionTransformer] {
+        &self.levels
+    }
+
+    /// The gate thresholds.
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+
+    /// Ascends the ladder until a level is confident enough (or the last
+    /// level is reached).
+    pub fn infer(&self, image: &Matrix) -> LadderOutcome {
+        let mut entropies = Vec::new();
+        for (i, model) in self.levels.iter().enumerate() {
+            let logits = model.infer(image);
+            let entropy = normalized_entropy(&logits);
+            entropies.push(entropy);
+            let is_last = i == self.levels.len() - 1;
+            if is_last || entropy < self.thresholds[i] {
+                return LadderOutcome { level: i, prediction: logits.row_argmax(0), entropies };
+            }
+        }
+        unreachable!("last level always accepts");
+    }
+
+    /// Evaluates the ladder on labeled samples.
+    pub fn evaluate(&self, samples: &[Sample]) -> LadderStats {
+        let mut stats = LadderStats { per_level: vec![(0, 0); self.levels.len()] };
+        for s in samples {
+            let out = self.infer(&s.image);
+            let entry = &mut stats.per_level[out.level];
+            entry.0 += 1;
+            entry.1 += (out.prediction == s.label) as usize;
+        }
+        stats
+    }
+
+    /// Collapses the ladder into the paper's two-level [`CascadeStats`],
+    /// treating level 0 as "low" and everything above as "high" (useful to
+    /// compare against [`crate::MultiEffortVit`]).
+    pub fn evaluate_as_two_level(&self, samples: &[Sample]) -> CascadeStats {
+        let ladder = self.evaluate(samples);
+        let mut stats = CascadeStats::default();
+        for (i, &(n, c)) in ladder.per_level.iter().enumerate() {
+            if i == 0 {
+                stats.n_low += n;
+                stats.c_low += c;
+                stats.i_low += n - c;
+            } else {
+                stats.n_high += n;
+                stats.c_high += c;
+                stats.i_high += n - c;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_data::{Dataset, DatasetConfig};
+    use pivot_tensor::Rng;
+    use pivot_vit::VitConfig;
+
+    fn models(seed: u64) -> Vec<VisionTransformer> {
+        let cfg = VitConfig::test_small();
+        let base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+        [1usize, 2, 4]
+            .iter()
+            .map(|&e| {
+                let mut m = base.clone();
+                m.set_active_attentions(&(0..e).collect::<Vec<_>>());
+                m
+            })
+            .collect()
+    }
+
+    fn samples(seed: u64) -> Vec<Sample> {
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.2, 0.8], 20, seed)
+    }
+
+    #[test]
+    fn two_level_ladder_matches_multi_effort_vit() {
+        let ms = models(0);
+        let ladder =
+            EffortLadder::new(vec![ms[0].clone(), ms[2].clone()], vec![0.6]);
+        let cascade =
+            crate::MultiEffortVit::new(ms[0].clone(), ms[2].clone(), 0.6);
+        let set = samples(1);
+        let a = ladder.evaluate_as_two_level(&set);
+        let b = cascade.evaluate(&set);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_input_is_classified_exactly_once() {
+        let ladder = EffortLadder::new(models(2), vec![0.3, 0.6]);
+        let set = samples(3);
+        let stats = ladder.evaluate(&set);
+        assert_eq!(stats.total(), set.len());
+        let fractions = stats.level_fractions();
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_thresholds_send_everything_to_the_top() {
+        let ladder = EffortLadder::new(models(4), vec![0.0, 0.0]);
+        let stats = ladder.evaluate(&samples(5));
+        assert_eq!(stats.per_level[0].0, 0);
+        assert_eq!(stats.per_level[1].0, 0);
+        assert!(stats.per_level[2].0 > 0);
+        assert_eq!(stats.mean_inferences(), 3.0);
+    }
+
+    #[test]
+    fn unit_thresholds_stop_at_the_bottom() {
+        let ladder = EffortLadder::new(models(6), vec![1.0, 1.0]);
+        let stats = ladder.evaluate(&samples(7));
+        assert_eq!(stats.per_level[0].0, stats.total());
+        assert_eq!(stats.mean_inferences(), 1.0);
+    }
+
+    #[test]
+    fn mean_inferences_between_one_and_depth() {
+        let ladder = EffortLadder::new(models(8), vec![0.5, 0.8]);
+        let stats = ladder.evaluate(&samples(9));
+        let m = stats.mean_inferences();
+        assert!((1.0..=3.0).contains(&m), "mean inferences {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_thresholds_panic() {
+        let _ = EffortLadder::new(models(10), vec![0.8, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per gate")]
+    fn wrong_threshold_count_panics() {
+        let _ = EffortLadder::new(models(11), vec![0.5]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Phase 1: optimal path selection per effort (paper Fig. 2b).
+
+use crate::{path_score, PathConfig};
+use pivot_cka::CkaMatrix;
+
+/// A path together with its Algorithm-1 score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPath {
+    /// The path.
+    pub path: PathConfig,
+    /// Its Path-Score `S`.
+    pub score: f32,
+}
+
+/// Result of Phase 1 for one effort: the optimal path and, for analysis
+/// (paper Fig. 4a), every candidate scored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Result {
+    /// The effort this result is for.
+    pub effort: usize,
+    /// The highest-scoring path — the paper's *Optimal Path*.
+    pub optimal: ScoredPath,
+    /// All candidates in descending score order.
+    pub ranked: Vec<ScoredPath>,
+}
+
+/// Selects the optimal path for one effort by exhaustively scoring all
+/// `C(depth, effort)` placements with Algorithm 1.
+///
+/// Ties are broken toward paths whose active attentions sit earlier
+/// (matching the paper's Fig. 9 observation that skips concentrate in
+/// deeper layers, where CKA is higher).
+///
+/// # Panics
+///
+/// Panics if `effort > cka.depth()`.
+pub fn select_optimal_path(effort: usize, cka: &CkaMatrix) -> Phase1Result {
+    let depth = cka.depth();
+    assert!(effort <= depth, "effort {effort} exceeds depth {depth}");
+    let mut ranked: Vec<ScoredPath> = PathConfig::enumerate(depth, effort)
+        .into_iter()
+        .map(|path| {
+            let score = path_score(&path, cka);
+            ScoredPath { path, score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.path.active().cmp(b.path.active()))
+    });
+    let optimal = ranked.first().expect("at least one path").clone();
+    Phase1Result { effort, optimal, ranked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Matrix;
+
+    /// A CKA matrix that increases toward deeper layers, like the paper's
+    /// Fig. 3a for DeiT-S.
+    fn deep_redundancy_cka(depth: usize) -> CkaMatrix {
+        let mut m = Matrix::zeros(depth, depth);
+        for i in 0..depth {
+            for j in (i + 1)..depth {
+                m[(i, j)] = 0.2 + 0.7 * (j as f32 / depth as f32);
+            }
+        }
+        CkaMatrix::from_matrix(m)
+    }
+
+    #[test]
+    fn optimal_is_max_score() {
+        let cka = deep_redundancy_cka(8);
+        let result = select_optimal_path(4, &cka);
+        assert_eq!(result.ranked.len(), 70); // C(8,4)
+        for sp in &result.ranked {
+            assert!(sp.score <= result.optimal.score + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deep_redundancy_pushes_skips_to_deep_layers() {
+        // With CKA rising toward deep layers, the optimal path should skip
+        // deeper encoders (paper Fig. 9).
+        let cka = deep_redundancy_cka(12);
+        let result = select_optimal_path(6, &cka);
+        let skipped = result.optimal.path.skipped();
+        let mean_skip: f32 =
+            skipped.iter().map(|&i| i as f32).sum::<f32>() / skipped.len() as f32;
+        assert!(mean_skip > 5.5, "skips {skipped:?} not biased deep (mean {mean_skip})");
+    }
+
+    #[test]
+    fn ranked_is_sorted_descending() {
+        let cka = deep_redundancy_cka(7);
+        let result = select_optimal_path(3, &cka);
+        for w in result.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn full_effort_has_single_zero_score_path() {
+        let cka = deep_redundancy_cka(5);
+        let result = select_optimal_path(5, &cka);
+        assert_eq!(result.ranked.len(), 1);
+        assert_eq!(result.optimal.score, 0.0);
+        assert_eq!(result.optimal.path, PathConfig::full(5));
+    }
+
+    #[test]
+    fn zero_effort_is_single_path() {
+        let cka = deep_redundancy_cka(5);
+        let result = select_optimal_path(0, &cka);
+        assert_eq!(result.ranked.len(), 1);
+        assert_eq!(result.optimal.path.effort(), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Phase 2: hardware-in-the-loop search for the optimal effort combination
+//! (paper Fig. 2c).
+
+use crate::{CascadeStats, PathConfig};
+use pivot_data::Sample;
+use pivot_sim::{combine_efforts, CombinedPerf, Simulator, VitGeometry};
+use pivot_vit::VisionTransformer;
+
+/// One effort with its Phase-1 optimal path and fine-tuned model.
+#[derive(Debug, Clone)]
+pub struct EffortModel {
+    /// Number of active attentions.
+    pub effort: usize,
+    /// The optimal path from Phase 1.
+    pub path: PathConfig,
+    /// Algorithm-1 score of the path.
+    pub score: f32,
+    /// The fine-tuned ViT realizing the path.
+    pub model: VisionTransformer,
+}
+
+/// User constraints for Phase 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase2Config {
+    /// Low-effort constraint: minimum fraction of inputs that must be
+    /// classified by the low effort (the paper's LEC, as a fraction).
+    pub lec: f64,
+    /// Target per-image delay in milliseconds.
+    pub delay_constraint_ms: f64,
+    /// Acceptance tolerance around the delay constraint (paper: 5%).
+    pub delay_tolerance: f64,
+    /// Step of the incremental threshold iteration.
+    pub threshold_step: f32,
+}
+
+impl Default for Phase2Config {
+    fn default() -> Self {
+        Self { lec: 0.7, delay_constraint_ms: 50.0, delay_tolerance: 0.05, threshold_step: 0.02 }
+    }
+}
+
+/// The effort combination Phase 2 settles on.
+#[derive(Debug, Clone)]
+pub struct Phase2Result {
+    /// Low-effort path (`Config_L`).
+    pub low_path: PathConfig,
+    /// High-effort path (`Config_H`).
+    pub high_path: PathConfig,
+    /// Low effort size.
+    pub low_effort: usize,
+    /// High effort size.
+    pub high_effort: usize,
+    /// Chosen entropy threshold `Th`.
+    pub threshold: f32,
+    /// Calibration-batch cascade statistics (`C_L/C_H/F_L/F_H`).
+    pub stats: CascadeStats,
+    /// Simulated delay/energy of the combination.
+    pub perf: CombinedPerf,
+}
+
+/// The Phase-2 searcher: pairs every candidate low/high effort, iterates
+/// the entropy threshold until `F_L >= LEC` on a calibration batch, asks
+/// PIVOT-Sim for the combination delay, and walks from the largest effort
+/// pair downward until the delay constraint is met (within tolerance).
+#[derive(Debug)]
+pub struct Phase2Search<'a> {
+    sim: &'a Simulator,
+    geometry: &'a VitGeometry,
+    efforts: &'a [EffortModel],
+    calibration: &'a [Sample],
+}
+
+impl<'a> Phase2Search<'a> {
+    /// Creates a searcher.
+    ///
+    /// `geometry` is the paper-scale ViT whose delay the constraint refers
+    /// to; `efforts` are the Phase-1 outputs (any order); `calibration` is
+    /// the small batch (the paper uses 256 training images) on which
+    /// thresholds and accuracies are measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two efforts are supplied, the calibration batch
+    /// is empty, or an effort's depth does not match the geometry.
+    pub fn new(
+        sim: &'a Simulator,
+        geometry: &'a VitGeometry,
+        efforts: &'a [EffortModel],
+        calibration: &'a [Sample],
+    ) -> Self {
+        assert!(efforts.len() >= 2, "need at least two efforts to combine");
+        assert!(!calibration.is_empty(), "calibration batch must be non-empty");
+        for e in efforts {
+            assert_eq!(
+                e.path.depth(),
+                geometry.depth,
+                "effort {} path depth mismatch with geometry",
+                e.effort
+            );
+        }
+        Self { sim, geometry, efforts, calibration }
+    }
+
+    /// Runs the search. Returns `None` when no combination meets the delay
+    /// constraint (the constraint is infeasible even with the smallest
+    /// efforts).
+    pub fn run(&self, cfg: &Phase2Config) -> Option<Phase2Result> {
+        let max_delay = cfg.delay_constraint_ms * (1.0 + cfg.delay_tolerance);
+
+        // Candidate (low, high) pairs, largest combined effort first: the
+        // paper starts with maximum active attentions and samples smaller
+        // combinations each iteration.
+        let mut order: Vec<usize> = (0..self.efforts.len()).collect();
+        order.sort_by_key(|&i| self.efforts[i].effort);
+        let mut pairs = Vec::new();
+        for (a, &i) in order.iter().enumerate() {
+            for &j in order.iter().skip(a + 1) {
+                if self.efforts[i].effort < self.efforts[j].effort {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs.sort_by_key(|&(i, j)| {
+            std::cmp::Reverse((
+                self.efforts[i].effort + self.efforts[j].effort,
+                self.efforts[j].effort,
+            ))
+        });
+
+        for (li, hi) in pairs {
+            let low = &self.efforts[li];
+            let high = &self.efforts[hi];
+            if let Some(result) = self.evaluate_pair(low, high, cfg, max_delay) {
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    /// Evaluates one effort pair: iterate `Th` until `F_L >= LEC`, then
+    /// check the simulated delay against the constraint.
+    ///
+    /// The low-effort logits are computed once per sample; the incremental
+    /// threshold iteration then runs on the cached entropies, and only the
+    /// escalated samples are re-inferred with the high effort.
+    pub fn evaluate_pair(
+        &self,
+        low: &EffortModel,
+        high: &EffortModel,
+        cfg: &Phase2Config,
+        max_delay_ms: f64,
+    ) -> Option<Phase2Result> {
+        use pivot_nn::normalized_entropy;
+
+        let low_logits: Vec<_> =
+            self.calibration.iter().map(|s| low.model.infer(&s.image)).collect();
+        let entropies: Vec<f32> = low_logits.iter().map(normalized_entropy).collect();
+        let n = self.calibration.len() as f64;
+
+        // Step 2-3: incremental threshold iteration until F_L >= LEC.
+        let mut threshold = cfg.threshold_step;
+        loop {
+            let f_low =
+                entropies.iter().filter(|&&e| e < threshold).count() as f64 / n;
+            if f_low >= cfg.lec || threshold >= 1.0 {
+                break;
+            }
+            threshold += cfg.threshold_step;
+        }
+        let threshold = threshold.min(1.0);
+
+        // Step 3-4: measure C_L/C_H/F_L/F_H and accuracy on the batch.
+        let mut stats = CascadeStats::default();
+        for (i, sample) in self.calibration.iter().enumerate() {
+            if entropies[i] < threshold {
+                stats.n_low += 1;
+                if low_logits[i].row_argmax(0) == sample.label {
+                    stats.c_low += 1;
+                } else {
+                    stats.i_low += 1;
+                }
+            } else {
+                stats.n_high += 1;
+                if high.model.infer(&sample.image).row_argmax(0) == sample.label {
+                    stats.c_high += 1;
+                } else {
+                    stats.i_high += 1;
+                }
+            }
+        }
+
+        // Step 5: hardware-in-the-loop delay of the combination.
+        let perf_low = self.sim.simulate(self.geometry, &low.path.to_mask());
+        let perf_high = self.sim.simulate(self.geometry, &high.path.to_mask());
+        let perf = combine_efforts(&perf_low, &perf_high, stats.f_low());
+
+        (perf.delay_ms <= max_delay_ms).then(|| Phase2Result {
+            low_path: low.path.clone(),
+            high_path: high.path.clone(),
+            low_effort: low.effort,
+            high_effort: high.effort,
+            threshold,
+            stats,
+            perf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_data::{Dataset, DatasetConfig};
+    use pivot_sim::AcceleratorConfig;
+    use pivot_tensor::Rng;
+    use pivot_vit::{VisionTransformer, VitConfig};
+
+    fn make_efforts(depth: usize, efforts: &[usize], seed: u64) -> Vec<EffortModel> {
+        let cfg = VitConfig { depth, ..VitConfig::test_small() };
+        let base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+        efforts
+            .iter()
+            .map(|&e| {
+                // Deep-skip paths, like Phase 1 would produce.
+                let active: Vec<usize> = (0..e).collect();
+                let path = PathConfig::new(depth, &active);
+                let mut model = base.clone();
+                model.set_active_attentions(path.active());
+                EffortModel { effort: e, path, score: e as f32, model }
+            })
+            .collect()
+    }
+
+    fn calibration(seed: u64) -> Vec<Sample> {
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.1, 0.9], 15, seed)
+    }
+
+    #[test]
+    fn finds_combination_meeting_loose_constraint() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[3, 6, 9, 12], 0);
+        let calib = calibration(1);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        let result = search
+            .run(&Phase2Config { delay_constraint_ms: 80.0, ..Default::default() })
+            .expect("loose constraint must be satisfiable");
+        // Largest pair is tried first and meets a loose constraint.
+        assert_eq!((result.low_effort, result.high_effort), (9, 12));
+        assert!(result.perf.delay_ms <= 80.0 * 1.05);
+        assert!(result.stats.f_low() >= 0.7 || result.threshold >= 1.0);
+    }
+
+    #[test]
+    fn tighter_constraint_selects_smaller_efforts() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[3, 6, 9, 12], 2);
+        let calib = calibration(3);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        let loose = search
+            .run(&Phase2Config { delay_constraint_ms: 70.0, ..Default::default() })
+            .expect("loose");
+        let tight = search
+            .run(&Phase2Config { delay_constraint_ms: 45.0, ..Default::default() })
+            .expect("tight");
+        assert!(
+            tight.low_effort + tight.high_effort <= loose.low_effort + loose.high_effort,
+            "tighter delay must not select larger efforts"
+        );
+        assert!(tight.perf.delay_ms < loose.perf.delay_ms + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_constraint_returns_none() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[9, 12], 4);
+        let calib = calibration(5);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        assert!(search
+            .run(&Phase2Config { delay_constraint_ms: 1.0, ..Default::default() })
+            .is_none());
+    }
+
+    #[test]
+    fn threshold_satisfies_lec_on_calibration() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[6, 12], 6);
+        let calib = calibration(7);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        let cfg = Phase2Config { lec: 0.8, delay_constraint_ms: 100.0, ..Default::default() };
+        let result = search.run(&cfg).expect("satisfiable");
+        assert!(
+            result.stats.f_low() >= 0.8 - 1e-9 || result.threshold >= 1.0,
+            "F_L {} below LEC at Th {}",
+            result.stats.f_low(),
+            result.threshold
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two efforts")]
+    fn single_effort_panics() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[12], 8);
+        let calib = calibration(9);
+        let _ = Phase2Search::new(&sim, &geom, &efforts, &calib);
+    }
+}

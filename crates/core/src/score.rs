@@ -1,0 +1,129 @@
+//! The Path-Score of Algorithm 1.
+
+use crate::PathConfig;
+use pivot_cka::CkaMatrix;
+
+/// Computes the Path-Score `S` of a path (paper Algorithm 1).
+///
+/// For every encoder `i` with active attention, walk forward over the
+/// immediately following encoders `j = i+1, i+2, ...`: while `A_j` is
+/// inactive (skipped), add `CKA(MLP_i, A_j)`; stop at the first active
+/// attention. A high `S` means the path skips attentions whose outputs are
+/// highly redundant with the residual stream that reaches them, so pruning
+/// them is cheap in accuracy.
+///
+/// # Panics
+///
+/// Panics if the CKA matrix depth does not match the path depth.
+///
+/// # Example
+///
+/// ```
+/// use pivot_cka::CkaMatrix;
+/// use pivot_core::{path_score, PathConfig};
+/// use pivot_tensor::Matrix;
+///
+/// let mut vals = Matrix::zeros(3, 3);
+/// vals[(0, 1)] = 0.9;
+/// vals[(0, 2)] = 0.8;
+/// let cka = CkaMatrix::from_matrix(vals);
+/// // Encoder 0 active, 1 and 2 skipped: S = CKA(0,1) + CKA(0,2).
+/// let s = path_score(&PathConfig::new(3, &[0]), &cka);
+/// assert!((s - 1.7).abs() < 1e-6);
+/// ```
+pub fn path_score(path: &PathConfig, cka: &CkaMatrix) -> f32 {
+    assert_eq!(
+        cka.depth(),
+        path.depth(),
+        "CKA matrix depth {} != path depth {}",
+        cka.depth(),
+        path.depth()
+    );
+    let mut score = 0.0;
+    for &i in path.active() {
+        for j in (i + 1)..path.depth() {
+            if path.is_active(j) {
+                break;
+            }
+            score += cka.get(i, j);
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Matrix;
+
+    /// CKA matrix with distinct, recognizable entries in the upper triangle.
+    fn test_cka(depth: usize) -> CkaMatrix {
+        let mut m = Matrix::zeros(depth, depth);
+        for i in 0..depth {
+            for j in (i + 1)..depth {
+                m[(i, j)] = (10 * (i + 1) + j + 1) as f32 / 1000.0;
+            }
+        }
+        CkaMatrix::from_matrix(m)
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper Section 3.2 example (1-based): Config = [1..12] with
+        // encoders 3, 4, 9, 10 inactive. 0-based: skipped = {2, 3, 8, 9}.
+        // S = CKA[MLP_2,A_3] + CKA[MLP_2,A_4] + CKA[MLP_8,A_9] + CKA[MLP_8,A_10]
+        //   (1-based) = 0-based CKA(1,2)+CKA(1,3)+CKA(7,8)+CKA(7,9).
+        let depth = 12;
+        let active: Vec<usize> = (0..depth).filter(|i| ![2, 3, 8, 9].contains(i)).collect();
+        let path = PathConfig::new(depth, &active);
+        let cka = test_cka(depth);
+        let expected = cka.get(1, 2) + cka.get(1, 3) + cka.get(7, 8) + cka.get(7, 9);
+        assert!((path_score(&path, &cka) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_path_scores_zero() {
+        let cka = test_cka(6);
+        assert_eq!(path_score(&PathConfig::full(6), &cka), 0.0);
+    }
+
+    #[test]
+    fn walk_stops_at_next_active_attention() {
+        // Active {0, 2} in depth 4: from 0 we take CKA(0,1) then stop at
+        // active 2; from 2 we take CKA(2,3).
+        let cka = test_cka(4);
+        let path = PathConfig::new(4, &[0, 2]);
+        let expected = cka.get(0, 1) + cka.get(2, 3);
+        assert!((path_score(&path, &cka) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leading_skips_have_no_preceding_mlp() {
+        // Active {2} in depth 4: encoders 0,1 are skipped but have no
+        // preceding active encoder, so only CKA(2,3) counts.
+        let cka = test_cka(4);
+        let path = PathConfig::new(4, &[2]);
+        assert!((path_score(&path, &cka) - cka.get(2, 3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_path_scores_zero() {
+        let cka = test_cka(5);
+        assert_eq!(path_score(&PathConfig::new(5, &[]), &cka), 0.0);
+    }
+
+    #[test]
+    fn higher_cka_means_higher_score() {
+        let low = CkaMatrix::from_matrix(Matrix::filled(4, 4, 0.1));
+        let high = CkaMatrix::from_matrix(Matrix::filled(4, 4, 0.9));
+        let path = PathConfig::new(4, &[0, 1]);
+        assert!(path_score(&path, &high) > path_score(&path, &low));
+    }
+
+    #[test]
+    #[should_panic(expected = "CKA matrix depth")]
+    fn depth_mismatch_panics() {
+        let cka = test_cka(5);
+        let _ = path_score(&PathConfig::full(4), &cka);
+    }
+}

@@ -1,0 +1,238 @@
+//! Parametric pattern families and the difficulty-controlled renderer.
+
+use pivot_tensor::{Matrix, Rng};
+
+/// The ten pattern families, one per class.
+///
+/// Each family is a smooth function of pixel coordinates plus per-sample
+/// jitter; families are chosen to be mutually far apart in pixel space when
+/// rendered cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// Horizontal sinusoidal stripes.
+    HorizontalStripes,
+    /// Vertical sinusoidal stripes.
+    VerticalStripes,
+    /// Diagonal stripes.
+    DiagonalStripes,
+    /// Checkerboard.
+    Checkerboard,
+    /// Concentric rings around the center.
+    Rings,
+    /// A centered Gaussian blob.
+    Blob,
+    /// Corner-to-corner radial gradient.
+    CornerGradient,
+    /// A plus-shaped cross.
+    Cross,
+    /// A grid of dots.
+    DotGrid,
+    /// A bright half-plane with a tilted edge.
+    Wedge,
+}
+
+impl PatternKind {
+    /// Number of available families.
+    pub const COUNT: usize = 10;
+
+    /// All families in class-index order.
+    pub const ALL: [PatternKind; Self::COUNT] = [
+        PatternKind::HorizontalStripes,
+        PatternKind::VerticalStripes,
+        PatternKind::DiagonalStripes,
+        PatternKind::Checkerboard,
+        PatternKind::Rings,
+        PatternKind::Blob,
+        PatternKind::CornerGradient,
+        PatternKind::Cross,
+        PatternKind::DotGrid,
+        PatternKind::Wedge,
+    ];
+
+    /// Family for class index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PatternKind::COUNT`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+/// Jitter applied to a clean pattern; magnitudes grow with difficulty.
+#[derive(Debug, Clone, Copy)]
+struct Jitter {
+    phase: f32,
+    freq_scale: f32,
+    shift_x: f32,
+    shift_y: f32,
+}
+
+/// Renders the *clean* value of `kind` at normalized coordinates
+/// `(u, v) in [0,1]^2`, returning a value in `[0, 1]`.
+pub fn pattern(kind: PatternKind, u: f32, v: f32) -> f32 {
+    pattern_jittered(kind, u, v, Jitter { phase: 0.0, freq_scale: 1.0, shift_x: 0.0, shift_y: 0.0 })
+}
+
+fn pattern_jittered(kind: PatternKind, u: f32, v: f32, j: Jitter) -> f32 {
+    use std::f32::consts::PI;
+    let u = (u + j.shift_x).rem_euclid(1.0);
+    let v = (v + j.shift_y).rem_euclid(1.0);
+    let f = 4.0 * j.freq_scale;
+    let val = match kind {
+        PatternKind::HorizontalStripes => (2.0 * PI * f * v + j.phase).sin(),
+        PatternKind::VerticalStripes => (2.0 * PI * f * u + j.phase).sin(),
+        PatternKind::DiagonalStripes => (2.0 * PI * f * (u + v) * 0.7 + j.phase).sin(),
+        PatternKind::Checkerboard => {
+            ((2.0 * PI * f * u + j.phase).sin()) * ((2.0 * PI * f * v + j.phase).sin())
+        }
+        PatternKind::Rings => {
+            let r = ((u - 0.5).powi(2) + (v - 0.5).powi(2)).sqrt();
+            (2.0 * PI * 2.0 * f * r + j.phase).cos()
+        }
+        PatternKind::Blob => {
+            let r2 = (u - 0.5).powi(2) + (v - 0.5).powi(2);
+            2.0 * (-r2 / 0.04).exp() - 1.0
+        }
+        PatternKind::CornerGradient => 2.0 * (u * v).sqrt() - 1.0,
+        PatternKind::Cross => {
+            let horiz = ((v - 0.5).abs() < 0.12) as i32 as f32;
+            let vert = ((u - 0.5).abs() < 0.12) as i32 as f32;
+            2.0 * horiz.max(vert) - 1.0
+        }
+        PatternKind::DotGrid => {
+            let du = (u * f).fract() - 0.5;
+            let dv = (v * f).fract() - 0.5;
+            let r2 = du * du + dv * dv;
+            2.0 * (-r2 / 0.02).exp() - 1.0
+        }
+        PatternKind::Wedge => {
+            let edge = 0.3 * (u - 0.5) + (v - 0.5);
+            if edge > 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+    };
+    0.5 * (val + 1.0)
+}
+
+/// Renders one sample of class `kind` at the given `difficulty in [0, 1]`.
+///
+/// Difficulty drives four corruptions, all zero at difficulty 0:
+/// 1. geometric jitter (phase, frequency, translation),
+/// 2. a distractor pattern from a *different* class blended in,
+/// 3. additive Gaussian pixel noise,
+/// 4. contrast compression toward mid-gray.
+///
+/// The output is clamped to `[0, 1]`.
+pub(crate) fn render(
+    kind: PatternKind,
+    size: usize,
+    difficulty: f32,
+    classes: usize,
+    rng: &mut Rng,
+) -> Matrix {
+    let d = difficulty.clamp(0.0, 1.0);
+    let jitter = Jitter {
+        phase: rng.uniform(-1.0, 1.0) * d * 1.5,
+        freq_scale: 1.0 + rng.uniform(-1.0, 1.0) * 0.35 * d,
+        shift_x: rng.uniform(-1.0, 1.0) * 0.2 * d,
+        shift_y: rng.uniform(-1.0, 1.0) * 0.2 * d,
+    };
+    // Distractor from another class.
+    let distractor_kind = {
+        let offset = 1 + rng.below(classes.max(2) - 1);
+        PatternKind::from_index((kind_index(kind) + offset) % classes.max(2))
+    };
+    let distractor_jitter = Jitter {
+        phase: rng.uniform(-2.0, 2.0),
+        freq_scale: rng.uniform(0.7, 1.3),
+        shift_x: rng.uniform(0.0, 1.0),
+        shift_y: rng.uniform(0.0, 1.0),
+    };
+    let blend = 0.4 * d;
+    let noise_sigma = 0.25 * d;
+    let contrast = 1.0 - 0.4 * d;
+
+    Matrix::from_fn(size, size, |r, c| {
+        let u = (c as f32 + 0.5) / size as f32;
+        let v = (r as f32 + 0.5) / size as f32;
+        let base = pattern_jittered(kind, u, v, jitter);
+        let dist = pattern_jittered(distractor_kind, u, v, distractor_jitter);
+        let mixed = (1.0 - blend) * base + blend * dist;
+        let contrasted = 0.5 + contrast * (mixed - 0.5);
+        (contrasted + noise_sigma * rng.normal()).clamp(0.0, 1.0)
+    })
+}
+
+fn kind_index(kind: PatternKind) -> usize {
+    PatternKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_patterns_are_in_range() {
+        for kind in PatternKind::ALL {
+            for r in 0..16 {
+                for c in 0..16 {
+                    let p = pattern(kind, c as f32 / 16.0, r as f32 / 16.0);
+                    assert!((0.0..=1.0).contains(&p), "{kind:?} out of range: {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_render_has_no_noise() {
+        let mut rng_a = Rng::new(1);
+        let mut rng_b = Rng::new(2);
+        // Difficulty 0: jitter amplitudes are all zero, so two different RNGs
+        // must produce nearly identical clean images (distractor blend = 0).
+        let a = render(PatternKind::Rings, 16, 0.0, 10, &mut rng_a);
+        let b = render(PatternKind::Rings, 16, 0.0, 10, &mut rng_b);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn families_are_mutually_distinct() {
+        let mut rng = Rng::new(0);
+        let images: Vec<Matrix> =
+            PatternKind::ALL.iter().map(|&k| render(k, 16, 0.0, 10, &mut rng)).collect();
+        for i in 0..images.len() {
+            for j in (i + 1)..images.len() {
+                let dist = (&images[i] - &images[j]).frobenius_norm();
+                assert!(dist > 1.0, "patterns {i} and {j} too similar: {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_grows_with_difficulty() {
+        // Compare a hard render against the clean template of its class;
+        // deviation must grow with difficulty.
+        let clean = render(PatternKind::Checkerboard, 16, 0.0, 10, &mut Rng::new(3));
+        let mut prev = 0.0;
+        for (i, d) in [0.25, 0.6, 0.95].iter().enumerate() {
+            let mut dev = 0.0;
+            for s in 0..8 {
+                let img = render(PatternKind::Checkerboard, 16, *d, 10, &mut Rng::new(100 + s));
+                dev += (&img - &clean).frobenius_norm();
+            }
+            assert!(dev > prev, "deviation not increasing at step {i}");
+            prev = dev;
+        }
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for (i, &k) in PatternKind::ALL.iter().enumerate() {
+            assert_eq!(PatternKind::from_index(i), k);
+            assert_eq!(kind_index(k), i);
+        }
+    }
+}

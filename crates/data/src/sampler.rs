@@ -1,0 +1,75 @@
+//! Mini-batch index sampling.
+
+use pivot_tensor::Rng;
+
+/// Iterator over shuffled mini-batches of sample indices.
+///
+/// Produced by [`Dataset::train_batches`](crate::Dataset::train_batches).
+/// The final batch may be smaller than `batch_size`.
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Creates a batch iterator over `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, rng: &mut Rng) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        Self { order, batch_size, cursor: 0 }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let mut rng = Rng::new(0);
+        let mut seen: Vec<usize> = BatchIter::new(23, 5, &mut rng).flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_are_correct() {
+        let mut rng = Rng::new(1);
+        let sizes: Vec<usize> = BatchIter::new(23, 5, &mut rng).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![5, 5, 5, 5, 3]);
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        let mut rng = Rng::new(2);
+        assert_eq!(BatchIter::new(0, 4, &mut rng).count(), 0);
+    }
+
+    #[test]
+    fn order_is_shuffled() {
+        let mut rng = Rng::new(3);
+        let flat: Vec<usize> = BatchIter::new(100, 100, &mut rng).flatten().collect();
+        assert_ne!(flat, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,193 @@
+//! Layer normalization over the embedding dimension.
+
+use crate::{Layer, Param};
+use pivot_tensor::Matrix;
+
+/// Layer normalization applied independently to each token (row).
+///
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`
+///
+/// # Example
+///
+/// ```
+/// use pivot_nn::{Layer, LayerNorm};
+/// use pivot_tensor::Matrix;
+///
+/// let mut ln = LayerNorm::new(4);
+/// let y = ln.forward(&Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+/// assert!(y.row(0).iter().sum::<f32>().abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x_hat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features with `gamma = 1`, `beta = 0`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(Matrix::filled(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Inference-only forward without caching.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.normalize(x).0
+    }
+
+    fn normalize(&self, x: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
+        let n = x.cols() as f32;
+        let mut y = Matrix::zeros(x.rows(), x.cols());
+        let mut x_hat = Matrix::zeros(x.rows(), x.cols());
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for c in 0..x.cols() {
+                let xh = (row[c] - mean) * inv_std;
+                x_hat[(r, c)] = xh;
+                y[(r, c)] = self.gamma.value[(0, c)] * xh + self.beta.value[(0, c)];
+            }
+        }
+        (y, x_hat, inv_stds)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (y, x_hat, inv_std) = self.normalize(x);
+        self.cache = Some(Cache { x_hat, inv_std });
+        y
+    }
+
+    fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let n = d_out.cols() as f32;
+        let mut dx = Matrix::zeros(d_out.rows(), d_out.cols());
+        let mut d_gamma = Matrix::zeros(1, d_out.cols());
+        let mut d_beta = Matrix::zeros(1, d_out.cols());
+        for r in 0..d_out.rows() {
+            let dy = d_out.row(r);
+            let xh = cache.x_hat.row(r);
+            let inv_std = cache.inv_std[r];
+            // d_xhat = dy * gamma
+            let d_xhat: Vec<f32> =
+                dy.iter().enumerate().map(|(c, &g)| g * self.gamma.value[(0, c)]).collect();
+            let mean_dxhat = d_xhat.iter().sum::<f32>() / n;
+            let mean_dxhat_xhat =
+                d_xhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / n;
+            for c in 0..d_out.cols() {
+                dx[(r, c)] = (d_xhat[c] - mean_dxhat - xh[c] * mean_dxhat_xhat) * inv_std;
+                d_gamma[(0, c)] += dy[c] * xh[c];
+                d_beta[(0, c)] += dy[c];
+            }
+        }
+        self.gamma.accumulate(&d_gamma);
+        self.beta.accumulate(&d_beta);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Rng;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let mut rng = Rng::new(0);
+        let mut ln = LayerNorm::new(16);
+        let x = Matrix::randn(4, 16, 3.0, &mut rng);
+        let y = ln.forward(&x);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 16.0;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = Rng::new(7);
+        let mut ln = LayerNorm::new(5);
+        // Non-trivial gamma/beta so their gradients are exercised.
+        ln.gamma.value = Matrix::randn(1, 5, 1.0, &mut rng);
+        ln.beta.value = Matrix::randn(1, 5, 1.0, &mut rng);
+        let x = Matrix::randn(3, 5, 1.0, &mut rng);
+        let target = Matrix::randn(3, 5, 1.0, &mut rng);
+
+        let loss = |m: &LayerNorm, x: &Matrix| -> f32 {
+            let y = m.infer(x);
+            0.5 * (&y - &target).frobenius_norm().powi(2)
+        };
+
+        let y = ln.forward(&x);
+        let d_out = &y - &target;
+        let dx = ln.backward(&d_out);
+
+        let h = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let fd = (loss(&ln, &xp) - loss(&ln, &xm)) / (2.0 * h);
+            assert!((dx.as_slice()[i] - fd).abs() < 2e-2, "dx[{i}]: {} vs {fd}", dx.as_slice()[i]);
+        }
+
+        for (pi, name) in [(0usize, "gamma"), (1usize, "beta")] {
+            let p0 = ln.params_mut()[pi].value.clone();
+            let analytic = ln.params_mut()[pi].grad.clone();
+            for i in 0..p0.len() {
+                let mut pp = p0.clone();
+                pp.as_mut_slice()[i] += h;
+                ln.params_mut()[pi].value = pp;
+                let lp = loss(&ln, &x);
+                let mut pm = p0.clone();
+                pm.as_mut_slice()[i] -= h;
+                ln.params_mut()[pi].value = pm;
+                let lm = loss(&ln, &x);
+                ln.params_mut()[pi].value = p0.clone();
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (analytic.as_slice()[i] - fd).abs() < 2e-2,
+                    "{name}[{i}]: {} vs {fd}",
+                    analytic.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_is_stable() {
+        let mut ln = LayerNorm::new(4);
+        let y = ln.forward(&Matrix::filled(1, 4, 3.0));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

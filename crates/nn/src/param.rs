@@ -1,0 +1,67 @@
+//! Trainable parameter: value plus accumulated gradient.
+
+use pivot_tensor::Matrix;
+
+/// A trainable tensor and its gradient accumulator.
+///
+/// # Example
+///
+/// ```
+/// use pivot_nn::Param;
+/// use pivot_tensor::Matrix;
+///
+/// let mut p = Param::new(Matrix::zeros(2, 2));
+/// p.grad.as_mut_slice()[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad.max_abs(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps a value with a zero gradient of the same shape.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+    }
+
+    /// Adds `g` to the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the value.
+    pub fn accumulate(&mut self, g: &Matrix) {
+        self.grad.add_scaled_in_place(g, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_gradients() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        let g = Matrix::from_rows(&[&[1.0, 2.0]]);
+        p.accumulate(&g);
+        p.accumulate(&g);
+        assert_eq!(p.grad, Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_shape_mismatch_panics() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate(&Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,102 @@
+//! Processing-system (PS) cost model.
+//!
+//! The ZynQ MPSoC PS executes every non-linear operation: softmax, GELU,
+//! entropy and layer norm (Section 3.4). Costs are cycles-per-element at the
+//! PS clock, with the softmax constant additionally covering the amortized
+//! PL<->PS transfer of attention-score tiles.
+
+use crate::calib;
+
+/// Kinds of non-linear operations executed on the PS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PsOpKind {
+    /// Row softmax over attention scores (paper Eq. 2).
+    Softmax,
+    /// GELU activation inside the MLP.
+    Gelu,
+    /// Layer normalization.
+    LayerNorm,
+    /// Normalized-entropy computation on the logits (paper Eq. 3).
+    Entropy,
+}
+
+/// PS timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsConfig {
+    /// PS clock in MHz.
+    pub clock_mhz: f64,
+    /// Cycles per softmax element.
+    pub softmax_cycles_per_elem: f64,
+    /// Cycles per GELU element.
+    pub gelu_cycles_per_elem: f64,
+    /// Cycles per layer-norm element.
+    pub layernorm_cycles_per_elem: f64,
+    /// Cycles per entropy element.
+    pub entropy_cycles_per_elem: f64,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        Self {
+            clock_mhz: calib::PS_CLOCK_MHZ,
+            softmax_cycles_per_elem: calib::PS_SOFTMAX_CYCLES_PER_ELEM,
+            gelu_cycles_per_elem: calib::PS_GELU_CYCLES_PER_ELEM,
+            layernorm_cycles_per_elem: calib::PS_LAYERNORM_CYCLES_PER_ELEM,
+            entropy_cycles_per_elem: calib::PS_ENTROPY_CYCLES_PER_ELEM,
+        }
+    }
+}
+
+impl PsConfig {
+    /// PS cycles to process `elements` of the given op kind.
+    pub fn cycles(&self, kind: PsOpKind, elements: u64) -> f64 {
+        let per = match kind {
+            PsOpKind::Softmax => self.softmax_cycles_per_elem,
+            PsOpKind::Gelu => self.gelu_cycles_per_elem,
+            PsOpKind::LayerNorm => self.layernorm_cycles_per_elem,
+            PsOpKind::Entropy => self.entropy_cycles_per_elem,
+        };
+        per * elements as f64
+    }
+
+    /// Wall-clock milliseconds for `elements` of the given op kind.
+    pub fn delay_ms(&self, kind: PsOpKind, elements: u64) -> f64 {
+        self.cycles(kind, elements) / (self.clock_mhz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_cost_matches_paper_anchor() {
+        // Section 3.4: entropy for one ImageNet image (K=1000) takes 0.03 ms.
+        let ps = PsConfig::default();
+        let ms = ps.delay_ms(PsOpKind::Entropy, 1000);
+        assert!((ms - 0.03).abs() < 0.005, "entropy {ms} ms, expected ~0.03 ms");
+    }
+
+    #[test]
+    fn softmax_dominates_gelu_per_element() {
+        let ps = PsConfig::default();
+        assert!(
+            ps.cycles(PsOpKind::Softmax, 100) > ps.cycles(PsOpKind::Gelu, 100),
+            "softmax must be costlier per element"
+        );
+    }
+
+    #[test]
+    fn delay_scales_linearly() {
+        let ps = PsConfig::default();
+        let one = ps.delay_ms(PsOpKind::Softmax, 1000);
+        let ten = ps.delay_ms(PsOpKind::Softmax, 10_000);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elements_cost_nothing() {
+        let ps = PsConfig::default();
+        assert_eq!(ps.cycles(PsOpKind::LayerNorm, 0), 0.0);
+    }
+}

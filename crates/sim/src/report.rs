@@ -1,0 +1,235 @@
+//! Delay reporting structures.
+
+use std::collections::BTreeMap;
+
+/// Reporting bucket for delay and energy breakdowns.
+///
+/// The paper groups modules two ways:
+/// * Fig. 1b "attention" = QKV + QKᵀ + SM + SM×V + Proj, i.e.
+///   [`ModuleClass::AttentionMac`] + [`ModuleClass::Softmax`];
+/// * Fig. 6a splits Attention MAC / Softmax / MLP.
+///
+/// Both groupings are derived from these buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModuleClass {
+    /// Patch embedding projection.
+    Embed,
+    /// QKV, QKᵀ, SM×V and output projection matrix multiplications.
+    AttentionMac,
+    /// Softmax on the PS.
+    Softmax,
+    /// MLP projections and GELU.
+    Mlp,
+    /// Layer norms on the PS.
+    Norm,
+    /// Classifier head.
+    Head,
+    /// Entropy computation on the PS.
+    Entropy,
+}
+
+impl ModuleClass {
+    /// All buckets in report order.
+    pub const ALL: [ModuleClass; 7] = [
+        ModuleClass::Embed,
+        ModuleClass::AttentionMac,
+        ModuleClass::Softmax,
+        ModuleClass::Mlp,
+        ModuleClass::Norm,
+        ModuleClass::Head,
+        ModuleClass::Entropy,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModuleClass::Embed => "Embed",
+            ModuleClass::AttentionMac => "Attention MAC",
+            ModuleClass::Softmax => "Softmax",
+            ModuleClass::Mlp => "MLP",
+            ModuleClass::Norm => "LayerNorm",
+            ModuleClass::Head => "Head",
+            ModuleClass::Entropy => "Entropy",
+        }
+    }
+}
+
+/// Per-module delay in milliseconds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DelayBreakdown {
+    per_module: BTreeMap<ModuleClass, f64>,
+}
+
+impl DelayBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ms` to a module's bucket.
+    pub fn add(&mut self, module: ModuleClass, ms: f64) {
+        *self.per_module.entry(module).or_insert(0.0) += ms;
+    }
+
+    /// Milliseconds attributed to `module`.
+    pub fn get(&self, module: ModuleClass) -> f64 {
+        self.per_module.get(&module).copied().unwrap_or(0.0)
+    }
+
+    /// Total delay in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.per_module.values().sum()
+    }
+
+    /// Fraction of total delay in `module`, 0 if the total is 0.
+    pub fn fraction(&self, module: ModuleClass) -> f64 {
+        let total = self.total_ms();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(module) / total
+        }
+    }
+
+    /// The paper's Fig. 1b "attention delay": attention MACs plus softmax.
+    pub fn attention_total_ms(&self) -> f64 {
+        self.get(ModuleClass::AttentionMac) + self.get(ModuleClass::Softmax)
+    }
+
+    /// Iterates `(module, ms)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleClass, f64)> + '_ {
+        ModuleClass::ALL.iter().map(|&m| (m, self.get(m)))
+    }
+
+    /// Scales every bucket by `factor` (used for effort-combination math).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = Self::new();
+        for (m, v) in &self.per_module {
+            out.add(*m, v * factor);
+        }
+        out
+    }
+
+    /// Adds another breakdown bucket-wise.
+    pub fn accumulate(&mut self, other: &DelayBreakdown) {
+        for (m, v) in &other.per_module {
+            self.add(*m, *v);
+        }
+    }
+}
+
+/// Complete simulated performance of one effort configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffortPerf {
+    /// Model name the run describes.
+    pub model: String,
+    /// Number of active attention modules.
+    pub effort: usize,
+    /// Per-image delay (ms).
+    pub delay_ms: f64,
+    /// Per-module delay breakdown.
+    pub breakdown: DelayBreakdown,
+    /// Per-image energy (J) by component.
+    pub energy: crate::EnergyBreakdown,
+    /// Total MACs executed.
+    pub macs: u64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Total SRAM bytes moved.
+    pub sram_bytes: u64,
+    /// Total active PS cycles.
+    pub ps_cycles: f64,
+}
+
+impl EffortPerf {
+    /// Per-image energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Average power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.energy_j() / (self.delay_ms / 1e3)
+    }
+
+    /// Energy-delay product in J*ms (the paper's EDP unit).
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.delay_ms
+    }
+
+    /// Throughput in frames per second.
+    pub fn fps(&self) -> f64 {
+        1e3 / self.delay_ms
+    }
+
+    /// Energy efficiency in FPS per watt.
+    pub fn fps_per_w(&self) -> f64 {
+        self.fps() / self.power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = DelayBreakdown::new();
+        b.add(ModuleClass::Softmax, 6.0);
+        b.add(ModuleClass::Mlp, 3.0);
+        b.add(ModuleClass::AttentionMac, 1.0);
+        assert_eq!(b.total_ms(), 10.0);
+        assert!((b.fraction(ModuleClass::Softmax) - 0.6).abs() < 1e-12);
+        assert_eq!(b.attention_total_ms(), 7.0);
+    }
+
+    #[test]
+    fn scaled_and_accumulate() {
+        let mut a = DelayBreakdown::new();
+        a.add(ModuleClass::Mlp, 2.0);
+        let half = a.scaled(0.5);
+        assert_eq!(half.get(ModuleClass::Mlp), 1.0);
+        let mut b = DelayBreakdown::new();
+        b.add(ModuleClass::Mlp, 1.0);
+        b.accumulate(&half);
+        assert_eq!(b.get(ModuleClass::Mlp), 2.0);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = DelayBreakdown::new();
+        assert_eq!(b.total_ms(), 0.0);
+        assert_eq!(b.fraction(ModuleClass::Softmax), 0.0);
+    }
+}
+
+impl std::fmt::Display for EffortPerf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} effort {}: {:.2} ms, {:.3} J, {:.2} W, EDP {:.2} J*ms, {:.2} FPS/W",
+            self.model,
+            self.effort,
+            self.delay_ms,
+            self.energy_j(),
+            self.power_w(),
+            self.edp(),
+            self.fps_per_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use crate::{AcceleratorConfig, Simulator, VitGeometry};
+
+    #[test]
+    fn effort_perf_display_is_informative() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let perf = sim.simulate(&VitGeometry::deit_s(), &[true; 12]);
+        let s = perf.to_string();
+        assert!(s.contains("DeiT-S"));
+        assert!(s.contains("effort 12"));
+        assert!(s.contains("EDP"));
+    }
+}

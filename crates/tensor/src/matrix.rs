@@ -1,0 +1,745 @@
+//! Row-major dense `f32` matrix.
+
+use crate::rng::Rng;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major `f32` matrix.
+///
+/// `Matrix` is the single tensor type used across the PIVOT workspace.
+/// Higher-rank data (a batch of token embeddings, a stack of attention heads)
+/// is represented as a `Vec<Matrix>` or by packing along rows, which keeps
+/// the kernel surface small and easy to verify.
+///
+/// # Example
+///
+/// ```
+/// use pivot_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.transpose()[(2, 1)], 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has length {} expected {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix that takes ownership of a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        Self { rows, cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates a matrix with entries drawn i.i.d. from `N(0, std^2)`.
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.normal() * std)
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.uniform(lo, hi))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an ikj loop order with a row accumulator, which is cache-friendly
+    /// for the small-to-medium matrices used throughout the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs.transpose()` without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose_b shape mismatch: {:?} x {:?}^T",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self.transpose() * rhs` without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_transpose_a shape mismatch: {:?}^T x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ki * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination `f(self[i], other[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`, returning a new matrix.
+    pub fn scaled(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        self.map_in_place(|x| x * s);
+    }
+
+    /// Adds `other * s` to `self` in place (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled_in_place(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast add), returning a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "broadcast length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column sums as a vector of length `cols`.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute value, 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum element in row `r` (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or the matrix has zero columns.
+    pub fn row_argmax(&self, r: usize) -> usize {
+        let row = self.row(r);
+        assert!(!row.is_empty(), "row_argmax on zero-column matrix");
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Centers each column to zero mean, returning a new matrix.
+    pub fn center_columns(&self) -> Matrix {
+        if self.rows == 0 {
+            return self.clone();
+        }
+        let means: Vec<f32> =
+            self.col_sums().into_iter().map(|s| s / self.rows as f32).collect();
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &m) in out.row_mut(r).iter_mut().zip(&means) {
+                *o -= m;
+            }
+        }
+        out
+    }
+
+    /// Extracts rows `[start, end)` into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows range out of bounds");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Extracts columns `[start, end)` into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.cols()`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols range out of bounds");
+        Matrix::from_fn(self.rows, end - start, |r, c| self[(r, start + c)])
+    }
+
+    /// Horizontally concatenates `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        Matrix::from_fn(self.rows, self.cols + other.cols, |r, c| {
+            if c < self.cols {
+                self[(r, c)]
+            } else {
+                other[(r, c - self.cols)]
+            }
+        })
+    }
+
+    /// Vertically concatenates `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// True when every pairwise element difference is at most `tol`.
+    ///
+    /// Shapes must match for the result to be `true`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {:?}", self.shape());
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {:?}", self.shape());
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f32) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_scaled_in_place(rhs, 1.0);
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let mut rng = Rng::new(7);
+        let a = Matrix::randn(4, 6, 1.0, &mut rng);
+        let b = Matrix::randn(5, 6, 1.0, &mut rng);
+        let direct = a.matmul(&b.transpose());
+        assert!(a.matmul_transpose_b(&b).approx_eq(&direct, 1e-5));
+
+        let c = Matrix::randn(4, 3, 1.0, &mut rng);
+        let direct2 = a.transpose().matmul(&c);
+        assert!(a.matmul_transpose_a(&c).approx_eq(&direct2, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::randn(5, 3, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn center_columns_zeroes_means() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::randn(20, 4, 2.0, &mut rng);
+        let c = a.center_columns();
+        for s in c.col_sums() {
+            assert!(s.abs() < 1e-4, "column sum {s} not ~0");
+        }
+    }
+
+    #[test]
+    fn row_argmax_picks_first_max() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0, 3.0, 2.0]]);
+        assert_eq!(m.row_argmax(0), 1);
+    }
+
+    #[test]
+    fn slicing_and_concatenation_roundtrip() {
+        let mut rng = Rng::new(11);
+        let a = Matrix::randn(6, 5, 1.0, &mut rng);
+        let top = a.slice_rows(0, 2);
+        let bottom = a.slice_rows(2, 6);
+        assert_eq!(top.vcat(&bottom), a);
+        let left = a.slice_cols(0, 3);
+        let right = a.slice_cols(3, 5);
+        assert_eq!(left.hcat(&right), a);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = Matrix::zeros(2, 3);
+        let b = a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hadamard_and_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 8.0]]));
+        assert_eq!(&a + &b, Matrix::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[&[2.0, 2.0]]));
+        assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-5.0f32..5.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_of_product(
+            a in arb_matrix(3, 4),
+            b in arb_matrix(4, 2),
+        ) {
+            // (AB)^T = B^T A^T
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            prop_assert!(left.approx_eq(&right, 1e-4));
+        }
+
+        #[test]
+        fn prop_matmul_distributes_over_addition(
+            a in arb_matrix(3, 3),
+            b in arb_matrix(3, 3),
+            c in arb_matrix(3, 3),
+        ) {
+            // A(B + C) = AB + AC
+            let left = a.matmul(&(&b + &c));
+            let right = &a.matmul(&b) + &a.matmul(&c);
+            prop_assert!(left.approx_eq(&right, 1e-3));
+        }
+
+        #[test]
+        fn prop_matmul_associative(
+            a in arb_matrix(2, 3),
+            b in arb_matrix(3, 4),
+            c in arb_matrix(4, 2),
+        ) {
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            prop_assert!(left.approx_eq(&right, 1e-2));
+        }
+
+        #[test]
+        fn prop_scaling_commutes_with_matmul(
+            a in arb_matrix(3, 3),
+            b in arb_matrix(3, 3),
+            s in -3.0f32..3.0,
+        ) {
+            let left = a.scaled(s).matmul(&b);
+            let right = a.matmul(&b).scaled(s);
+            prop_assert!(left.approx_eq(&right, 1e-3));
+        }
+
+        #[test]
+        fn prop_frobenius_triangle_inequality(
+            a in arb_matrix(4, 4),
+            b in arb_matrix(4, 4),
+        ) {
+            let sum = &a + &b;
+            prop_assert!(
+                sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4
+            );
+        }
+
+        #[test]
+        fn prop_center_columns_is_idempotent(a in arb_matrix(6, 3)) {
+            let once = a.center_columns();
+            let twice = once.center_columns();
+            prop_assert!(once.approx_eq(&twice, 1e-4));
+        }
+
+        #[test]
+        fn prop_hcat_vcat_shapes(a in arb_matrix(3, 2), b in arb_matrix(3, 5)) {
+            let h = a.hcat(&b);
+            prop_assert_eq!(h.shape(), (3, 7));
+            let v = h.slice_cols(0, 2).vcat(&a);
+            prop_assert_eq!(v.shape(), (6, 2));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! 8-bit affine quantization.
+//!
+//! The paper trains and evaluates all ViTs with 8-bit quantization
+//! (Section 4.1, Table 4). This module implements per-tensor affine
+//! quantization: `q = clamp(round(x / scale) + zero_point, -128, 127)` and the
+//! matching dequantization, plus the *fake-quant* round trip used during
+//! quantization-aware training with a straight-through estimator.
+
+use crate::Matrix;
+
+/// Scale and zero-point of an affine 8-bit quantizer.
+///
+/// # Example
+///
+/// ```
+/// use pivot_tensor::{Matrix, QuantParams};
+///
+/// let m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+/// let qp = QuantParams::fit(&m);
+/// let rt = qp.fake_quant_matrix(&m);
+/// assert!(rt.approx_eq(&m, qp.scale()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+}
+
+impl QuantParams {
+    /// Smallest representable scale; guards against degenerate all-zero
+    /// tensors producing a zero scale.
+    const MIN_SCALE: f32 = 1e-8;
+
+    /// Creates quantization parameters from an explicit scale and zero point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f32, zero_point: i32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        Self { scale, zero_point }
+    }
+
+    /// Fits asymmetric 8-bit parameters to the value range of `m`.
+    ///
+    /// The range is widened to include zero so that zero is exactly
+    /// representable (required for padding / skipped attention outputs).
+    pub fn fit(m: &Matrix) -> Self {
+        Self::fit_slice(m.as_slice())
+    }
+
+    /// Fits asymmetric 8-bit parameters to the value range of a slice.
+    pub fn fit_slice(values: &[f32]) -> Self {
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let scale = ((hi - lo) / 255.0).max(Self::MIN_SCALE);
+        let zero_point = (-lo / scale).round() as i32 - 128;
+        Self { scale, zero_point }
+    }
+
+    /// Fits symmetric 8-bit parameters (zero point 0), typical for weights.
+    pub fn fit_symmetric(m: &Matrix) -> Self {
+        let scale = (m.max_abs() / 127.0).max(Self::MIN_SCALE);
+        Self { scale, zero_point: 0 }
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The integer value representing real zero.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes one value to `i8`.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+
+    /// Dequantizes one `i8` back to `f32`.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantize-then-dequantize round trip of one value (fake quant).
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Fake-quantizes every element of a matrix.
+    pub fn fake_quant_matrix(&self, m: &Matrix) -> Matrix {
+        m.map(|x| self.fake_quant(x))
+    }
+}
+
+/// A matrix stored in quantized `i8` form together with its parameters.
+///
+/// Used by the inference path to emulate the 8-bit deployment numerics and by
+/// `pivot-sim` to size SRAM traffic in bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    params: QuantParams,
+    rows: usize,
+    cols: usize,
+    values: Vec<i8>,
+}
+
+impl Quantized {
+    /// Quantizes a matrix with parameters fitted to its own range.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self::from_matrix_with(m, QuantParams::fit(m))
+    }
+
+    /// Quantizes a matrix with caller-provided parameters.
+    pub fn from_matrix_with(m: &Matrix, params: QuantParams) -> Self {
+        Self {
+            params,
+            rows: m.rows(),
+            cols: m.cols(),
+            values: m.as_slice().iter().map(|&x| params.quantize(x)).collect(),
+        }
+    }
+
+    /// The quantization parameters in use.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// `(rows, cols)` of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw quantized bytes.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Storage footprint in bytes (one byte per element).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reconstructs the (lossy) `f32` matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.values.iter().map(|&q| self.params.dequantize(q)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = Rng::new(5);
+        let m = Matrix::randn(16, 16, 1.0, &mut rng);
+        let qp = QuantParams::fit(&m);
+        let rt = qp.fake_quant_matrix(&m);
+        let max_err = (&m - &rt).max_abs();
+        assert!(max_err <= qp.scale() * 0.5 + 1e-6, "err {max_err} > step/2 {}", qp.scale());
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        let m = Matrix::from_rows(&[&[-3.0, 0.0, 1.0]]);
+        let qp = QuantParams::fit(&m);
+        assert_eq!(qp.fake_quant(0.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_fit_has_zero_zero_point() {
+        let m = Matrix::from_rows(&[&[-2.0, 1.5]]);
+        let qp = QuantParams::fit_symmetric(&m);
+        assert_eq!(qp.zero_point(), 0);
+        assert!(qp.fake_quant(0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_tensor_does_not_blow_up() {
+        let m = Matrix::zeros(4, 4);
+        let qp = QuantParams::fit(&m);
+        assert!(qp.scale() > 0.0);
+        assert_eq!(qp.fake_quant_matrix(&m), m);
+    }
+
+    #[test]
+    fn quantized_size_is_one_byte_per_element() {
+        let m = Matrix::zeros(8, 24);
+        let q = Quantized::from_matrix(&m);
+        assert_eq!(q.size_bytes(), 8 * 24);
+        assert_eq!(q.shape(), (8, 24));
+    }
+
+    #[test]
+    fn quantized_matrix_round_trip() {
+        let mut rng = Rng::new(9);
+        let m = Matrix::randn(10, 10, 2.0, &mut rng);
+        let q = Quantized::from_matrix(&m);
+        let rt = q.to_matrix();
+        assert!(rt.approx_eq(&m, q.params().scale()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fake_quant_idempotent(x in -100.0f32..100.0, s in 1e-3f32..1.0) {
+            let qp = QuantParams::new(s, 0);
+            let once = qp.fake_quant(x);
+            let twice = qp.fake_quant(once);
+            prop_assert!((once - twice).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_quantize_in_i8_range(x in -1e6f32..1e6, s in 1e-3f32..10.0, zp in -128i32..127) {
+            let qp = QuantParams::new(s, zp);
+            let q = qp.quantize(x);
+            prop_assert!((-128..=127).contains(&(q as i32)));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Model checkpointing: a small self-contained binary format.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! magic  "PVIT1"
+//! config name_len:u32 name:utf8 depth:u32 dim:u32 heads:u32 mlp_ratio:f32
+//!        image_size:u32 patch_size:u32 num_classes:u32 quant:u8
+//! mask   depth x u8            (active attentions)
+//! params n_params:u32, then per param: rows:u32 cols:u32 data:f32*
+//! ```
+
+use crate::{VisionTransformer, VitConfig};
+use pivot_nn::QuantMode;
+use pivot_tensor::{Matrix, Rng};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 5] = b"PVIT1";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl VisionTransformer {
+    /// Saves the model (configuration, attention-skip mask and all
+    /// parameters) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        let cfg = self.config().clone();
+        let name = cfg.name.as_bytes();
+        write_u32(&mut w, name.len() as u32)?;
+        w.write_all(name)?;
+        write_u32(&mut w, cfg.depth as u32)?;
+        write_u32(&mut w, cfg.dim as u32)?;
+        write_u32(&mut w, cfg.heads as u32)?;
+        write_f32(&mut w, cfg.mlp_ratio)?;
+        write_u32(&mut w, cfg.image_size as u32)?;
+        write_u32(&mut w, cfg.patch_size as u32)?;
+        write_u32(&mut w, cfg.num_classes as u32)?;
+        w.write_all(&[match cfg.quant {
+            QuantMode::None => 0u8,
+            QuantMode::Int8 => 1u8,
+        }])?;
+        let mask = self.active_attentions();
+        for i in 0..cfg.depth {
+            w.write_all(&[mask.contains(&i) as u8])?;
+        }
+        // Parameters, via a clone so the public API stays `&self`.
+        let mut clone = self.clone();
+        let params = clone.params_mut();
+        write_u32(&mut w, params.len() as u32)?;
+        for p in params {
+            write_u32(&mut w, p.value.rows() as u32)?;
+            write_u32(&mut w, p.value.cols() as u32)?;
+            for &v in p.value.as_slice() {
+                write_f32(&mut w, v)?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Loads a model saved with [`VisionTransformer::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read, has a bad magic number,
+    /// or its parameter shapes do not match the stored configuration.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 5];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a PVIT1 checkpoint"));
+        }
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("unreasonable name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| bad("name is not UTF-8"))?;
+        let depth = read_u32(&mut r)? as usize;
+        let dim = read_u32(&mut r)? as usize;
+        let heads = read_u32(&mut r)? as usize;
+        let mlp_ratio = read_f32(&mut r)?;
+        let image_size = read_u32(&mut r)? as usize;
+        let patch_size = read_u32(&mut r)? as usize;
+        let num_classes = read_u32(&mut r)? as usize;
+        let mut quant_byte = [0u8; 1];
+        r.read_exact(&mut quant_byte)?;
+        let quant = match quant_byte[0] {
+            0 => QuantMode::None,
+            1 => QuantMode::Int8,
+            _ => return Err(bad("unknown quant mode")),
+        };
+        let config = VitConfig {
+            name,
+            depth,
+            dim,
+            heads,
+            mlp_ratio,
+            image_size,
+            patch_size,
+            num_classes,
+            quant,
+        };
+        let mut mask = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            mask.push(b[0] != 0);
+        }
+
+        let mut model = VisionTransformer::new(&config, &mut Rng::new(0));
+        let active: Vec<usize> =
+            mask.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect();
+        model.set_active_attentions(&active);
+
+        let n_params = read_u32(&mut r)? as usize;
+        let mut params = model.params_mut();
+        if n_params != params.len() {
+            return Err(bad("parameter count mismatch"));
+        }
+        for p in params.iter_mut() {
+            let rows = read_u32(&mut r)? as usize;
+            let cols = read_u32(&mut r)? as usize;
+            if (rows, cols) != p.value.shape() {
+                return Err(bad("parameter shape mismatch"));
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(read_f32(&mut r)?);
+            }
+            p.value = Matrix::from_vec(rows, cols, data);
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Matrix;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pivot_io_test_{name}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let cfg = VitConfig::test_small();
+        let mut model = VisionTransformer::new(&cfg, &mut Rng::new(7));
+        model.set_active_attentions(&[0, 2]);
+        let path = tmp("round_trip");
+        model.save(&path).expect("save");
+        let loaded = VisionTransformer::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.config(), model.config());
+        assert_eq!(loaded.active_attentions(), vec![0, 2]);
+        let img = Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) as f32) / 256.0);
+        assert!(loaded.infer(&img).approx_eq(&model.infer(&img), 1e-6));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("bad_magic");
+        std::fs::write(&path, b"NOTAPIVOTMODEL").expect("write");
+        let err = VisionTransformer::load(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let cfg = VitConfig::test_small();
+        let model = VisionTransformer::new(&cfg, &mut Rng::new(1));
+        let path = tmp("truncated");
+        model.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("rewrite");
+        assert!(VisionTransformer::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(VisionTransformer::load("/nonexistent/dir/model.bin").is_err());
+    }
+}

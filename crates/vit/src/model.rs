@@ -1,0 +1,442 @@
+//! The Vision Transformer model.
+
+use crate::VitConfig;
+use pivot_nn::{EncoderBlock, Layer, LayerNorm, Linear, Param, QuantMode};
+use pivot_tensor::{Matrix, Rng};
+
+/// Activations captured during a traced forward pass.
+///
+/// `attention_out[i]` and `mlp_out[i]` are the residual-stream snapshots of
+/// encoder `i` (the paper's `A_i` and `MLP_i`), flattened to one row per
+/// token. `cls_feature` is the class-token feature after the final layer
+/// norm — the representation used for distillation — and `logits` the
+/// classifier output.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Residual stream after each encoder's attention sub-block.
+    pub attention_out: Vec<Matrix>,
+    /// Residual stream after each encoder's MLP sub-block.
+    pub mlp_out: Vec<Matrix>,
+    /// Final-norm class-token feature, `1 x dim`.
+    pub cls_feature: Matrix,
+    /// Classifier logits, `1 x num_classes`.
+    pub logits: Matrix,
+}
+
+/// A Vision Transformer with per-encoder attention skipping.
+///
+/// # Example
+///
+/// ```
+/// use pivot_tensor::{Matrix, Rng};
+/// use pivot_vit::{VisionTransformer, VitConfig};
+///
+/// let cfg = VitConfig::test_small();
+/// let mut rng = Rng::new(0);
+/// let model = VisionTransformer::new(&cfg, &mut rng);
+/// let image = Matrix::zeros(cfg.image_size, cfg.image_size);
+/// let logits = model.infer(&image);
+/// assert_eq!(logits.shape(), (1, cfg.num_classes));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisionTransformer {
+    config: VitConfig,
+    patch_embed: Linear,
+    cls_token: Param,
+    pos_embed: Param,
+    blocks: Vec<EncoderBlock>,
+    norm: LayerNorm,
+    head: Linear,
+    cache_tokens: Option<Matrix>,
+    cache_patches: Option<Matrix>,
+}
+
+impl VisionTransformer {
+    /// Creates a model with ViT-standard initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`VitConfig::validate`]).
+    pub fn new(config: &VitConfig, rng: &mut Rng) -> Self {
+        config.validate();
+        let blocks = (0..config.depth)
+            .map(|_| {
+                EncoderBlock::new(config.dim, config.heads, config.mlp_hidden(), config.quant, rng)
+            })
+            .collect();
+        Self {
+            patch_embed: Linear::new(config.patch_dim(), config.dim, config.quant, rng),
+            cls_token: Param::new(Matrix::randn(1, config.dim, 0.02, rng)),
+            pos_embed: Param::new(Matrix::randn(config.tokens(), config.dim, 0.02, rng)),
+            blocks,
+            norm: LayerNorm::new(config.dim),
+            head: Linear::new(config.dim, config.num_classes, config.quant, rng),
+            config: config.clone(),
+            cache_tokens: None,
+            cache_patches: None,
+        }
+    }
+
+    /// The configuration the model was built from.
+    pub fn config(&self) -> &VitConfig {
+        &self.config
+    }
+
+    /// Encoder indices whose attention modules are currently active.
+    pub fn active_attentions(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.attention_active().then_some(i))
+            .collect()
+    }
+
+    /// Activates attention exactly at the given encoder indices and skips it
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn set_active_attentions(&mut self, active: &[usize]) {
+        for &i in active {
+            assert!(i < self.blocks.len(), "encoder index {i} out of depth {}", self.blocks.len());
+        }
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            b.set_attention_active(active.contains(&i));
+        }
+    }
+
+    /// The *effort* of the current configuration: number of active
+    /// attention modules (the paper's definition).
+    pub fn effort(&self) -> usize {
+        self.blocks.iter().filter(|b| b.attention_active()).count()
+    }
+
+    /// Switches the numerics of every projection (e.g. to
+    /// [`QuantMode::Int8`] deployment numerics after training).
+    pub fn set_quant_mode(&mut self, quant: QuantMode) {
+        self.config.quant = quant;
+        self.patch_embed.set_quant_mode(quant);
+        self.head.set_quant_mode(quant);
+        for b in &mut self.blocks {
+            b.set_quant_mode(quant);
+        }
+    }
+
+    /// Splits an image into flattened patches, one patch per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the configuration.
+    pub fn patchify(&self, image: &Matrix) -> Matrix {
+        let s = self.config.image_size;
+        let p = self.config.patch_size;
+        assert_eq!(image.shape(), (s, s), "image shape mismatch");
+        let per_side = s / p;
+        Matrix::from_fn(per_side * per_side, p * p, |patch, idx| {
+            let (pr, pc) = (patch / per_side, patch % per_side);
+            let (dr, dc) = (idx / p, idx % p);
+            image[(pr * p + dr, pc * p + dc)]
+        })
+    }
+
+    fn embed(&self, image: &Matrix) -> (Matrix, Matrix) {
+        let patches = self.patchify(image);
+        let embedded = self.patch_embed.infer(&patches);
+        let tokens = self.cls_token.value.vcat(&embedded);
+        (&tokens + &self.pos_embed.value, patches)
+    }
+
+    /// Embeds an image into the token matrix the encoder stack consumes
+    /// (class token + patch embeddings + positional embeddings).
+    ///
+    /// Exposed so baselines (token pruning, attention sparsification) can
+    /// run modified encoder schedules.
+    pub fn embed_tokens(&self, image: &Matrix) -> Matrix {
+        self.embed(image).0
+    }
+
+    /// The encoder blocks (read-only, for custom schedules and analysis).
+    pub fn encoder_blocks(&self) -> &[pivot_nn::EncoderBlock] {
+        &self.blocks
+    }
+
+    /// Applies the final norm and classifier head to an encoder-stack
+    /// output, reading the class token (row 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` has no rows or the wrong width.
+    pub fn classify_tokens(&self, tokens: &Matrix) -> Matrix {
+        let normed = self.norm.infer(tokens);
+        self.head.infer(&normed.slice_rows(0, 1))
+    }
+
+    /// Inference-only forward returning logits (`1 x num_classes`).
+    pub fn infer(&self, image: &Matrix) -> Matrix {
+        self.infer_traced(image).logits
+    }
+
+    /// Inference with ViTCOD-style attention sparsification in every active
+    /// attention (see [`pivot_nn::MultiHeadAttention::infer_sparse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn infer_sparse_attention(&self, image: &Matrix, density: f32) -> Matrix {
+        let mut x = self.embed_tokens(image);
+        for block in &self.blocks {
+            x = block.infer_sparse(&x, density);
+        }
+        self.classify_tokens(&x)
+    }
+
+    /// Inference-only forward capturing the per-encoder activations needed
+    /// by the CKA analysis and the distillation feature.
+    pub fn infer_traced(&self, image: &Matrix) -> ForwardTrace {
+        let (mut x, _) = self.embed(image);
+        let mut attention_out = Vec::with_capacity(self.blocks.len());
+        let mut mlp_out = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let trace = block.infer_traced(&x);
+            x = trace.mlp_out.clone();
+            attention_out.push(trace.attention_out);
+            mlp_out.push(trace.mlp_out);
+        }
+        let normed = self.norm.infer(&x);
+        let cls_feature = normed.slice_rows(0, 1);
+        let logits = self.head.infer(&cls_feature);
+        ForwardTrace { attention_out, mlp_out, cls_feature, logits }
+    }
+
+    /// Training forward pass; caches intermediates for [`Self::backward`].
+    ///
+    /// Returns `(logits, cls_feature)`; the feature is what distillation
+    /// matches against the teacher.
+    pub fn forward(&mut self, image: &Matrix) -> (Matrix, Matrix) {
+        let patches = self.patchify(image);
+        // Patch embed with caching for backward.
+        let embedded = self.patch_embed.forward(&patches);
+        let tokens = self.cls_token.value.vcat(&embedded);
+        let mut x = &tokens + &self.pos_embed.value;
+        self.cache_patches = Some(patches);
+        self.cache_tokens = Some(x.clone());
+        for block in &mut self.blocks {
+            x = block.forward(&x);
+        }
+        let normed = self.norm.forward(&x);
+        let cls_feature = normed.slice_rows(0, 1);
+        let logits = self.head.forward(&cls_feature);
+        (logits, cls_feature)
+    }
+
+    /// Backpropagates gradients from the logits (`d_logits`) and optionally
+    /// from the distillation loss on the class feature (`d_cls_feature`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, d_logits: &Matrix, d_cls_feature: Option<&Matrix>) {
+        let mut d_cls = self.head.backward(d_logits);
+        if let Some(extra) = d_cls_feature {
+            d_cls.add_scaled_in_place(extra, 1.0);
+        }
+        // Expand the class-row gradient to the full token matrix.
+        let tokens = self.config.tokens();
+        let mut d_normed = Matrix::zeros(tokens, self.config.dim);
+        d_normed.row_mut(0).copy_from_slice(d_cls.row(0));
+        let mut dx = self.norm.backward(&d_normed);
+        for block in self.blocks.iter_mut().rev() {
+            dx = block.backward(&dx);
+        }
+        // dx is the gradient at (cls ++ patch_embed) + pos_embed.
+        self.pos_embed.accumulate(&dx);
+        self.cls_token.accumulate(&dx.slice_rows(0, 1));
+        let d_patches = dx.slice_rows(1, tokens);
+        self.patch_embed.backward(&d_patches);
+    }
+
+    /// All trainable parameters in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.patch_embed.params_mut();
+        params.push(&mut self.cls_token);
+        params.push(&mut self.pos_embed);
+        for b in &mut self.blocks {
+            params.extend(b.params_mut());
+        }
+        params.extend(self.norm.params_mut());
+        params.extend(self.head.params_mut());
+        params
+    }
+
+    /// Clears accumulated gradients on every parameter.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Classification accuracy over labeled samples.
+    pub fn accuracy(&self, samples: &[pivot_data::Sample]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.infer(&s.image).row_argmax(0) == s.label)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_nn::cross_entropy;
+
+    fn tiny_model(seed: u64) -> VisionTransformer {
+        let mut rng = Rng::new(seed);
+        VisionTransformer::new(&VitConfig::test_small(), &mut rng)
+    }
+
+    #[test]
+    fn logits_shape() {
+        let model = tiny_model(0);
+        let img = Matrix::zeros(16, 16);
+        assert_eq!(model.infer(&img).shape(), (1, 4));
+    }
+
+    #[test]
+    fn patchify_layout() {
+        let model = tiny_model(0);
+        let img = Matrix::from_fn(16, 16, |r, c| (r * 16 + c) as f32);
+        let patches = model.patchify(&img);
+        assert_eq!(patches.shape(), (4, 64));
+        // First element of patch 1 is pixel (0, 8).
+        assert_eq!(patches[(1, 0)], img[(0, 8)]);
+        // First element of patch 2 is pixel (8, 0).
+        assert_eq!(patches[(2, 0)], img[(8, 0)]);
+        // Patch 3 ends at pixel (15, 15).
+        assert_eq!(patches[(3, 63)], img[(15, 15)]);
+    }
+
+    #[test]
+    fn skipping_attention_changes_output() {
+        let mut model = tiny_model(1);
+        let mut rng = Rng::new(2);
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+        let full = model.infer(&img);
+        model.set_active_attentions(&[0, 2]);
+        assert_eq!(model.effort(), 2);
+        let skipped = model.infer(&img);
+        assert!(!full.approx_eq(&skipped, 1e-6));
+    }
+
+    #[test]
+    fn active_attentions_round_trip() {
+        let mut model = tiny_model(1);
+        model.set_active_attentions(&[1, 3]);
+        assert_eq!(model.active_attentions(), vec![1, 3]);
+        model.set_active_attentions(&[]);
+        assert_eq!(model.effort(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of depth")]
+    fn out_of_range_attention_index_panics() {
+        let mut model = tiny_model(1);
+        model.set_active_attentions(&[99]);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_encoder() {
+        let model = tiny_model(3);
+        let img = Matrix::zeros(16, 16);
+        let trace = model.infer_traced(&img);
+        assert_eq!(trace.attention_out.len(), 4);
+        assert_eq!(trace.mlp_out.len(), 4);
+        assert_eq!(trace.cls_feature.shape(), (1, 32));
+    }
+
+    #[test]
+    fn forward_matches_infer() {
+        let mut model = tiny_model(4);
+        let mut rng = Rng::new(5);
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+        let (logits, _) = model.forward(&img);
+        assert!(logits.approx_eq(&model.infer(&img), 1e-5));
+    }
+
+    #[test]
+    fn single_step_reduces_loss() {
+        use pivot_nn::{Adam, AdamConfig};
+        let mut model = tiny_model(6);
+        let mut rng = Rng::new(7);
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+        let label = 2;
+        let (logits, _) = model.forward(&img);
+        let before = cross_entropy(&logits, label);
+        model.backward(&before.grad, None);
+        let mut adam = Adam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        adam.step(&mut model.params_mut());
+        let after = cross_entropy(&model.infer(&img), label);
+        assert!(
+            after.loss < before.loss,
+            "loss did not decrease: {} -> {}",
+            before.loss,
+            after.loss
+        );
+    }
+
+    #[test]
+    fn gradient_check_through_whole_model() {
+        let mut model = tiny_model(8);
+        let mut rng = Rng::new(9);
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+        let label = 1;
+
+        let (logits, _) = model.forward(&img);
+        let lv = cross_entropy(&logits, label);
+        model.backward(&lv.grad, None);
+
+        // Check a handful of parameters spread across the model.
+        let h = 1e-2;
+        let n_params = model.params_mut().len();
+        for pi in [0usize, 2, 3, n_params - 1] {
+            let p0 = model.params_mut()[pi].value.clone();
+            let analytic = model.params_mut()[pi].grad.clone();
+            let stride = (p0.len() / 4).max(1);
+            for i in (0..p0.len()).step_by(stride) {
+                let mut pp = p0.clone();
+                pp.as_mut_slice()[i] += h;
+                model.params_mut()[pi].value = pp;
+                let lp = cross_entropy(&model.infer(&img), label).loss;
+                let mut pm = p0.clone();
+                pm.as_mut_slice()[i] -= h;
+                model.params_mut()[pi].value = pm;
+                let lm = cross_entropy(&model.infer(&img), label).loss;
+                model.params_mut()[pi].value = p0.clone();
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (analytic.as_slice()[i] - fd).abs() < 3e-2,
+                    "param {pi}[{i}]: analytic {} vs fd {fd}",
+                    analytic.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_count_scales_with_depth() {
+        let mut small = tiny_model(0);
+        let mut rng = Rng::new(0);
+        let mut deep =
+            VisionTransformer::new(&VitConfig { depth: 8, ..VitConfig::test_small() }, &mut rng);
+        assert!(deep.param_count() > small.param_count());
+    }
+}

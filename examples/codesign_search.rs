@@ -1,0 +1,87 @@
+//! The full hardware-in-the-loop co-design flow (paper Fig. 2): Phase 1
+//! path selection, then Phase 2 searching effort combinations against a
+//! user-provided delay constraint with PIVOT-Sim in the loop.
+//!
+//! ```sh
+//! cargo run --example codesign_search [delay_ms]
+//! ```
+
+use pivot::core::{Phase2Config, Phase2Search, PipelineConfig, PivotPipeline};
+use pivot::data::{Dataset, DatasetConfig};
+use pivot::sim::{AcceleratorConfig, Simulator, VitGeometry};
+use pivot::vit::{TrainConfig, VitConfig};
+
+fn main() {
+    let delay_target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
+
+    let data = Dataset::generate(
+        &DatasetConfig {
+            classes: 4,
+            image_size: 16,
+            train_per_class: 40,
+            test_per_class: 12,
+            difficulty: (0.0, 1.0),
+        },
+        5,
+    );
+
+    // Phase 1: train a 12-encoder stand-in and its effort ladder.
+    let pipeline = PivotPipeline::new(PipelineConfig {
+        vit: VitConfig { depth: 12, dim: 32, heads: 2, ..VitConfig::test_small() },
+        efforts: vec![3, 6, 9, 12],
+        teacher_train: TrainConfig { epochs: 8, ..Default::default() },
+        finetune: TrainConfig { epochs: 2, distill_weight: 0.5, ..Default::default() },
+        cka_batch: 48,
+        seed: 1,
+    });
+    println!("Phase 1: training teacher and effort ladder (this is the slow part)...");
+    let artifacts = pipeline.run(&data);
+    for p1 in &artifacts.phase1 {
+        println!(
+            "  effort {:>2}: optimal path {} (S = {:.2}, {} candidates scored)",
+            p1.effort,
+            p1.optimal.path,
+            p1.optimal.score,
+            p1.ranked.len()
+        );
+    }
+
+    // Phase 2: search effort combinations against the delay constraint,
+    // with the cycle-accurate simulator in the loop at DeiT-S scale.
+    let sim = Simulator::new(AcceleratorConfig::zcu102());
+    let geometry = VitGeometry::deit_s();
+    let calibration: Vec<_> = data.train.iter().take(96).cloned().collect();
+    let search = Phase2Search::new(&sim, &geometry, &artifacts.efforts, &calibration);
+    println!("\nPhase 2: delay target {delay_target} ms (LEC 70%) on the ZCU102...");
+    match search.run(&Phase2Config {
+        lec: 0.7,
+        delay_constraint_ms: delay_target,
+        delay_tolerance: 0.05,
+        threshold_step: 0.02,
+    }) {
+        Some(r) => {
+            println!("  chosen combination: efforts [{}, {}]", r.low_effort, r.high_effort);
+            println!("  low  path: {}", r.low_path);
+            println!("  high path: {}", r.high_path);
+            println!("  threshold Th = {:.2}, F_L = {:.2}", r.threshold, r.stats.f_low());
+            println!(
+                "  simulated: {:.2} ms, {:.3} J, EDP {:.2} Jxms, {:.2} FPS/W",
+                r.perf.delay_ms,
+                r.perf.energy_j(),
+                r.perf.edp(),
+                r.perf.fps_per_w()
+            );
+            let base = sim.simulate(&geometry, &[true; 12]);
+            println!(
+                "  vs baseline: {:.2} ms, EDP {:.2} -> {:.2}x EDP reduction",
+                base.delay_ms,
+                base.edp(),
+                base.edp() / r.perf.edp()
+            );
+        }
+        None => println!("  no effort combination meets {delay_target} ms - relax the target"),
+    }
+}

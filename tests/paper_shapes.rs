@@ -1,0 +1,151 @@
+//! Cross-crate assertions of the paper's headline *shapes* that do not
+//! need training (pure simulator / combinatorics / cost models).
+
+use pivot::core::{search_space, PathConfig, TrainCostModel};
+use pivot::sim::{
+    combine_efforts, AcceleratorConfig, ModuleClass, Simulator, VitGeometry,
+};
+
+fn sim() -> Simulator {
+    Simulator::new(AcceleratorConfig::zcu102())
+}
+
+/// Table 2 delay/EDP shape: a PVDS-50-like cascade (low 5, high 9, F_L
+/// 0.75) lands near 50 ms with a >1.3x EDP reduction; a PVDS-35-like one
+/// reduces EDP further.
+#[test]
+fn table2_shape_edp_reductions() {
+    let sim = sim();
+    let geom = VitGeometry::deit_s();
+    let baseline = sim.simulate(&geom, &[true; 12]);
+
+    let mask = |e: usize| -> Vec<bool> { (0..12).map(|i| i < e).collect() };
+    let pvds50 = combine_efforts(
+        &sim.simulate(&geom, &mask(5)),
+        &sim.simulate(&geom, &mask(9)),
+        0.75,
+    );
+    let pvds35 = combine_efforts(
+        &sim.simulate(&geom, &mask(3)),
+        &sim.simulate(&geom, &mask(5)),
+        0.75,
+    );
+
+    assert!((42.0..53.0).contains(&pvds50.delay_ms), "PVDS-50 delay {}", pvds50.delay_ms);
+    let edp50 = baseline.edp() / pvds50.edp();
+    let edp35 = baseline.edp() / pvds35.edp();
+    assert!(edp50 > 1.3, "PVDS-50 EDP reduction {edp50} (paper 1.73x)");
+    assert!(edp35 > edp50, "PVDS-35 ({edp35}) must reduce EDP more than PVDS-50 ({edp50})");
+    assert!(edp35 > 2.0, "PVDS-35 EDP reduction {edp35} (paper 2.6x)");
+}
+
+/// Table 3 shape: the deeper LVViT-S benefits more than DeiT-S at the same
+/// 50 ms target (paper: 2.7x vs 1.73x).
+#[test]
+fn table3_shape_lvvit_benefits_more() {
+    let sim = sim();
+    let deit = VitGeometry::deit_s();
+    let lv = VitGeometry::lvvit_s();
+    let deit_base = sim.simulate(&deit, &[true; 12]);
+    let lv_base = sim.simulate(&lv, &[true; 16]);
+
+    let deit50 = combine_efforts(
+        &sim.simulate(&deit, &(0..12).map(|i| i < 5).collect::<Vec<_>>()),
+        &sim.simulate(&deit, &(0..12).map(|i| i < 9).collect::<Vec<_>>()),
+        0.75,
+    );
+    let lv50 = combine_efforts(
+        &sim.simulate(&lv, &(0..16).map(|i| i < 4).collect::<Vec<_>>()),
+        &sim.simulate(&lv, &(0..16).map(|i| i < 10).collect::<Vec<_>>()),
+        0.75,
+    );
+    let deit_red = deit_base.edp() / deit50.edp();
+    let lv_red = lv_base.edp() / lv50.edp();
+    assert!(
+        lv_red > deit_red,
+        "LVViT-S EDP reduction {lv_red} must exceed DeiT-S {deit_red} at 50 ms"
+    );
+}
+
+/// Fig. 6a shape: under PIVOT the softmax delay share shrinks and the MLP
+/// share grows relative to the baseline.
+#[test]
+fn fig6a_shape_softmax_share_shrinks() {
+    let sim = sim();
+    let geom = VitGeometry::deit_s();
+    let baseline = sim.simulate(&geom, &[true; 12]);
+    let cascade = combine_efforts(
+        &sim.simulate(&geom, &(0..12).map(|i| i < 5).collect::<Vec<_>>()),
+        &sim.simulate(&geom, &(0..12).map(|i| i < 9).collect::<Vec<_>>()),
+        0.75,
+    );
+    let base_sm = baseline.breakdown.fraction(ModuleClass::Softmax);
+    let pivot_sm =
+        cascade.breakdown.get(ModuleClass::Softmax) / cascade.breakdown.total_ms();
+    assert!(pivot_sm < base_sm, "softmax share must shrink: {base_sm} -> {pivot_sm}");
+
+    let base_mlp = baseline.breakdown.fraction(ModuleClass::Mlp);
+    let pivot_mlp = cascade.breakdown.get(ModuleClass::Mlp) / cascade.breakdown.total_ms();
+    assert!(pivot_mlp > base_mlp, "MLP share must grow: {base_mlp} -> {pivot_mlp}");
+}
+
+/// Fig. 6b shape: the PS energy reduction is at least as large as any PL
+/// component's reduction (softmax work falls fastest).
+#[test]
+fn fig6b_shape_ps_reduction_leads() {
+    use pivot::sim::EnergyComponent;
+    let sim = sim();
+    let geom = VitGeometry::deit_s();
+    let baseline = sim.simulate(&geom, &[true; 12]);
+    let cascade = combine_efforts(
+        &sim.simulate(&geom, &(0..12).map(|i| i < 5).collect::<Vec<_>>()),
+        &sim.simulate(&geom, &(0..12).map(|i| i < 9).collect::<Vec<_>>()),
+        0.75,
+    );
+    let reduction = |c: EnergyComponent| baseline.energy.get(c) / cascade.energy.get(c);
+    let ps = reduction(EnergyComponent::Ps);
+    for c in [EnergyComponent::PeArray, EnergyComponent::Sram, EnergyComponent::Periphery] {
+        assert!(
+            ps >= reduction(c) * 0.98,
+            "PS reduction {ps} must lead {:?} ({})",
+            c,
+            reduction(c)
+        );
+    }
+    assert!(ps > 1.2, "PS energy reduction {ps} too small");
+}
+
+/// Fig. 4b shape: PIVOT shrinks the DeiT-S Phase-2 space by ~1e5.
+#[test]
+fn fig4b_shape_design_space() {
+    let efforts: Vec<usize> = (3..=9).collect();
+    let factor = search_space::reduction_factor(12, &efforts);
+    assert!(factor > 1e4, "reduction factor {factor}");
+    // The paper's worked example.
+    assert_eq!(search_space::random_pair_space(12, 3, 6), 220.0 * 924.0);
+}
+
+/// Fig. 4c shape: preparing all efforts is cheaper than scratch training,
+/// and DeiT-S (7 efforts) is relatively cheaper than LVViT-S (9 efforts).
+#[test]
+fn fig4c_shape_training_cost() {
+    let sim = sim();
+    let model = TrainCostModel::default();
+    let deit_paths: Vec<PathConfig> =
+        (3..=9).map(|e| PathConfig::new(12, &(0..e).collect::<Vec<_>>())).collect();
+    let lv_paths: Vec<PathConfig> =
+        (4..=12).map(|e| PathConfig::new(16, &(0..e).collect::<Vec<_>>())).collect();
+    let deit_cost = model.all_efforts_cost(&sim, &VitGeometry::deit_s(), &deit_paths);
+    let lv_cost = model.all_efforts_cost(&sim, &VitGeometry::lvvit_s(), &lv_paths);
+    assert!(deit_cost < 0.5, "DeiT-S cost {deit_cost} (paper ~1/3)");
+    assert!(lv_cost < 0.65, "LVViT-S cost {lv_cost} (paper ~1/2)");
+    assert!(deit_cost < lv_cost, "DeiT-S must be relatively cheaper");
+}
+
+/// Section 3.4: the entropy computation is negligible (< 0.05% of delay).
+#[test]
+fn entropy_overhead_is_negligible() {
+    let sim = sim();
+    let perf = sim.simulate(&VitGeometry::deit_s(), &[true; 12]);
+    assert!(perf.breakdown.fraction(ModuleClass::Entropy) < 0.0005);
+}
