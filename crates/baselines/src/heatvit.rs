@@ -26,13 +26,21 @@ impl HeatVitConfig {
     /// The paper's DeiT-S schedule: 40% / 74% / 87% at stages starting with
     /// encoders 4 / 7 / 10 (1-based).
     pub fn deit_s() -> Self {
-        Self { stages: vec![(3, 0.40), (6, 0.74), (9, 0.87)] }
+        Self {
+            stages: vec![(3, 0.40), (6, 0.74), (9, 0.87)],
+        }
     }
 
     /// Scales the stage boundaries to a different depth, preserving the
     /// relative positions (for the tiny stand-in models).
     pub fn scaled_to_depth(&self, depth: usize) -> Self {
-        let base = self.stages.iter().map(|&(e, _)| e).max().unwrap_or(0).max(1);
+        let base = self
+            .stages
+            .iter()
+            .map(|&(e, _)| e)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let reference_depth = (base + 3).max(12);
         Self {
             stages: self
@@ -107,12 +115,9 @@ impl HeatVit {
         let mut has_package = false;
 
         for (i, block) in model.encoder_blocks().iter().enumerate() {
-            if let Some(&(_, ratio)) =
-                self.config.stages.iter().find(|&&(start, _)| start == i)
-            {
+            if let Some(&(_, ratio)) = self.config.stages.iter().find(|&&(start, _)| start == i) {
                 let keep = (((1.0 - ratio) * original_patches as f32).ceil() as usize).max(1);
-                let (pruned, package_now) =
-                    prune_and_package(&tokens, keep, has_package);
+                let (pruned, package_now) = prune_and_package(&tokens, keep, has_package);
                 tokens = pruned;
                 has_package = package_now;
             }
@@ -127,8 +132,7 @@ impl HeatVit {
         let mut live = original_patches;
         (0..depth)
             .map(|i| {
-                if let Some(&(_, ratio)) =
-                    self.config.stages.iter().find(|&&(start, _)| start == i)
+                if let Some(&(_, ratio)) = self.config.stages.iter().find(|&&(start, _)| start == i)
                 {
                     live = (((1.0 - ratio) * original_patches as f32).ceil() as usize).max(1);
                 }

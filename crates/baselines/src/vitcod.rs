@@ -110,7 +110,10 @@ mod tests {
             dist_mild += (&VitCod::new(0.3).infer(&model, &img) - &dense).frobenius_norm();
             dist_hard += (&VitCod::new(0.9).infer(&model, &img) - &dense).frobenius_norm();
         }
-        assert!(dist_mild < dist_hard, "mild {dist_mild} vs hard {dist_hard}");
+        assert!(
+            dist_mild < dist_hard,
+            "mild {dist_mild} vs hard {dist_hard}"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Cascade inference cost: easy inputs (low effort only) vs hard inputs
-//! (low + high re-computation) vs always-full baseline.
+//! (low + high re-computation) vs always-full baseline, plus the batched
+//! evaluation engine sequential vs. worker-pool.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pivot_core::MultiEffortVit;
+use pivot_core::{MultiEffortVit, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, Sample};
 use pivot_tensor::{Matrix, Rng};
 use pivot_vit::{VisionTransformer, VitConfig};
 
@@ -37,5 +39,45 @@ fn bench_cascade(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cascade);
+/// Batched evaluation throughput: the sequential loop vs. the scoped
+/// worker pool, and the per-threshold sweep vs. one `CascadeCache`. The
+/// parallel variants are bit-identical to sequential by contract, so
+/// this group measures pure engine overhead/speedup.
+fn bench_batched_evaluation(c: &mut Criterion) {
+    let cfg = VitConfig::test_small();
+    let mut low = VisionTransformer::new(&cfg, &mut Rng::new(0));
+    low.set_active_attentions(&[0, 1]);
+    let high = VisionTransformer::new(&cfg, &mut Rng::new(0));
+    let cascade = MultiEffortVit::new(low, high, 0.6);
+
+    let samples: Vec<Sample> =
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.1, 0.5, 0.9], 32, 21);
+
+    let mut group = c.benchmark_group("batched-evaluation");
+    group.sample_size(10);
+
+    group.bench_function("evaluate sequential", |b| {
+        b.iter(|| cascade.evaluate_with(black_box(&samples), Parallelism::Off))
+    });
+    group.bench_function("evaluate parallel", |b| {
+        b.iter(|| cascade.evaluate_with(black_box(&samples), Parallelism::Auto))
+    });
+
+    let thresholds: Vec<f32> = (0..=20).map(|i| i as f32 / 20.0).collect();
+    group.bench_function("F_L sweep uncached", |b| {
+        b.iter(|| {
+            thresholds
+                .iter()
+                .map(|&th| cascade.f_low_at(black_box(&samples), th))
+                .collect::<Vec<f64>>()
+        })
+    });
+    group.bench_function("F_L sweep via cache", |b| {
+        b.iter(|| cascade.cache(black_box(&samples)).f_low_curve(&thresholds))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade, bench_batched_evaluation);
 criterion_main!(benches);

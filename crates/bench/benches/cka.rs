@@ -16,13 +16,17 @@ fn bench_cka(c: &mut Criterion) {
         b.iter(|| linear_cka(black_box(&x), black_box(&y)))
     });
 
-    let samples: Vec<Matrix> = (0..64).map(|_| Matrix::randn(17, 64, 1.0, &mut rng)).collect();
+    let samples: Vec<Matrix> = (0..64)
+        .map(|_| Matrix::randn(17, 64, 1.0, &mut rng))
+        .collect();
     group.bench_function("stack_flattened 64x(17x64)", |b| {
         b.iter(|| stack_flattened(black_box(&samples)))
     });
 
     // Full 12-encoder CKA matrix from smaller reps.
-    let reps: Vec<Matrix> = (0..12).map(|_| Matrix::randn(64, 17 * 16, 1.0, &mut rng)).collect();
+    let reps: Vec<Matrix> = (0..12)
+        .map(|_| Matrix::randn(64, 17 * 16, 1.0, &mut rng))
+        .collect();
     group.bench_function("CkaMatrix 12 encoders", |b| {
         b.iter(|| CkaMatrix::compute(black_box(&reps), black_box(&reps)))
     });

@@ -21,7 +21,10 @@ fn main() {
     let sim = Simulator::new(AcceleratorConfig::zcu102());
     let (perf, layers) = sim.simulate_detailed(&geom, &mask);
 
-    println!("{} @ effort {effort} on ZCU102 (64x36 IS, 125 MHz)", geom.name);
+    println!(
+        "{} @ effort {effort} on ZCU102 (64x36 IS, 125 MHz)",
+        geom.name
+    );
     println!(
         "{:<16} {:>4} {:>10} {:>12} {:>12} {:>7}",
         "layer", "unit", "delay (ms)", "MACs", "DRAM bytes", "util %"

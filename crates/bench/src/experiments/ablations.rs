@@ -133,8 +133,7 @@ pub fn ablation_gating(repro: &Reproduction) -> Vec<(String, f64, f64)> {
         .iter()
         .find(|e| e.effort == pvds.high_effort)
         .expect("high effort");
-    let cascade =
-        MultiEffortVit::new(low.model.clone(), high.model.clone(), pvds.threshold);
+    let cascade = MultiEffortVit::new(low.model.clone(), high.model.clone(), pvds.threshold);
     let test = &repro.dataset.test;
 
     let entropy_stats = cascade.evaluate(test);
@@ -187,7 +186,10 @@ pub fn ablation_dataflow() -> Vec<(&'static str, f64)> {
         Dataflow::WeightStationary,
         Dataflow::OutputStationary,
     ] {
-        let sim = Simulator::new(AcceleratorConfig { dataflow, ..AcceleratorConfig::zcu102() });
+        let sim = Simulator::new(AcceleratorConfig {
+            dataflow,
+            ..AcceleratorConfig::zcu102()
+        });
         let perf = sim.simulate(&geom, &[true; 12]);
         table.row_owned(vec![
             dataflow.name().into(),
@@ -211,10 +213,7 @@ pub fn ablation_ladder(repro: &Reproduction) -> Vec<(String, f64, f64)> {
     let high = efforts.last().expect("efforts");
     let test = &repro.dataset.test;
 
-    let two = EffortLadder::new(
-        vec![low.model.clone(), high.model.clone()],
-        vec![0.6],
-    );
+    let two = EffortLadder::new(vec![low.model.clone(), high.model.clone()], vec![0.6]);
     let three = EffortLadder::new(
         vec![low.model.clone(), mid.model.clone(), high.model.clone()],
         vec![0.6, 0.75],
@@ -222,12 +221,18 @@ pub fn ablation_ladder(repro: &Reproduction) -> Vec<(String, f64, f64)> {
 
     let mut rows = Vec::new();
     let mut table = Table::new(&[
-        "Ladder", "Accuracy (%)", "Inferences/input", "Level fractions",
+        "Ladder",
+        "Accuracy (%)",
+        "Inferences/input",
+        "Level fractions",
     ]);
     for (name, ladder) in [
         (format!("2-level [E{}, E{}]", low.effort, high.effort), two),
         (
-            format!("3-level [E{}, E{}, E{}]", low.effort, mid.effort, high.effort),
+            format!(
+                "3-level [E{}, E{}, E{}]",
+                low.effort, mid.effort, high.effort
+            ),
             three,
         ),
     ] {
@@ -236,11 +241,14 @@ pub fn ablation_ladder(repro: &Reproduction) -> Vec<(String, f64, f64)> {
             name.clone(),
             format!("{:.1}", stats.accuracy() * 100.0),
             format!("{:.2}", stats.mean_inferences()),
-            format!("{:?}", stats
-                .level_fractions()
-                .iter()
-                .map(|f| (f * 100.0).round() as i64)
-                .collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                stats
+                    .level_fractions()
+                    .iter()
+                    .map(|f| (f * 100.0).round() as i64)
+                    .collect::<Vec<_>>()
+            ),
         ]);
         rows.push((name, stats.accuracy(), stats.mean_inferences()));
     }

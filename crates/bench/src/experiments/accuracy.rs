@@ -72,7 +72,13 @@ fn effort_table(
 fn print_effort_table(rows: &[EffortTableRow]) {
     let base = &rows[0];
     let mut table = Table::new(&[
-        "Model", "Energy (J)", "Delay (ms)", "Power (W)", "EDP (Jxms)", "FPS/W", "Accuracy (%)",
+        "Model",
+        "Energy (J)",
+        "Delay (ms)",
+        "Power (W)",
+        "EDP (Jxms)",
+        "FPS/W",
+        "Accuracy (%)",
     ]);
     for r in rows {
         table.row_owned(vec![
@@ -177,7 +183,11 @@ pub fn table4(repro: &Reproduction) -> Vec<ComparisonRow> {
     ];
 
     let mut table = Table::new(&[
-        "Work", "Effort Modulation", "Prediction Mechanism", "Accuracy (%)", "GPP Compatible",
+        "Work",
+        "Effort Modulation",
+        "Prediction Mechanism",
+        "Accuracy (%)",
+        "GPP Compatible",
     ]);
     for r in &rows {
         table.row_owned(vec![
@@ -185,7 +195,11 @@ pub fn table4(repro: &Reproduction) -> Vec<ComparisonRow> {
             r.modulation.to_string(),
             r.mechanism.to_string(),
             format!("{:.1}", r.accuracy * 100.0),
-            if r.gpp_compatible { "yes".into() } else { "no".into() },
+            if r.gpp_compatible {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table.print();

@@ -5,8 +5,8 @@
 use super::phase2_at;
 use crate::harness::Reproduction;
 use crate::Table;
-use pivot_core::{Phase2Config, Phase2Search, TrainCostModel};
 use pivot_core::{search_space, PathConfig};
+use pivot_core::{Phase2Config, Phase2Search, TrainCostModel};
 use pivot_vit::Trainer;
 
 /// Fig. 3a: the CKA matrix `CKA(MLP_i, A_{i+1})` of the trained DeiT-S
@@ -94,7 +94,10 @@ pub fn fig4a(repro: &Reproduction, effort: usize, n_paths: usize) -> (Vec<PathAc
             format!("{:.3}", sp.score),
             format!("{:.1}", acc * 100.0),
         ]);
-        points.push(PathAccuracyPoint { score: sp.score, accuracy: acc });
+        points.push(PathAccuracyPoint {
+            score: sp.score,
+            accuracy: acc,
+        });
     }
     table.print();
     let corr = pearson(
@@ -133,8 +136,13 @@ pub fn fig4b() -> Vec<(String, f64)> {
     println!("\n=== Fig. 4b: Phase-2 design-space size, random vs PIVOT ===");
     println!("paper: DeiT-S random search space ~1e5 x PIVOT's\n");
     let mut out = Vec::new();
-    let mut table =
-        Table::new(&["Model", "Efforts", "Random space", "PIVOT space", "Reduction"]);
+    let mut table = Table::new(&[
+        "Model",
+        "Efforts",
+        "Random space",
+        "PIVOT space",
+        "Reduction",
+    ]);
     for (name, depth, efforts) in [
         ("DeiT-S", 12usize, (3..=9).collect::<Vec<usize>>()),
         ("LVViT-S", 16, (4..=12).collect()),
@@ -172,7 +180,9 @@ pub fn fig4c(repro: &Reproduction) -> Vec<(String, f64)> {
         let paths: Vec<PathConfig> = efforts
             .iter()
             .map(|&e| {
-                pivot_core::select_optimal_path(e, &family.artifacts.cka).optimal.path
+                pivot_core::select_optimal_path(e, &family.artifacts.cka)
+                    .optimal
+                    .path
             })
             .collect();
         let cost = model.all_efforts_cost(&repro.sim, &family.geometry, &paths);
@@ -223,11 +233,21 @@ pub fn fig8(repro: &Reproduction) -> Vec<LecPoint> {
         .expect("high effort");
 
     // Evaluate on the test set so accuracy is honest.
-    let search =
-        Phase2Search::new(&repro.sim, &family.geometry, family.efforts(), &repro.dataset.test);
+    let search = Phase2Search::new(
+        &repro.sim,
+        &family.geometry,
+        family.efforts(),
+        &repro.dataset.test,
+    );
     let mut out = Vec::new();
     let mut table = Table::new(&[
-        "LEC (%)", "Th", "F_L", "EDP (Jxms)", "Accuracy (%)", "EDP low", "EDP high",
+        "LEC (%)",
+        "Th",
+        "F_L",
+        "EDP (Jxms)",
+        "Accuracy (%)",
+        "EDP low",
+        "EDP high",
         "EDP overhead",
     ]);
     for lec in [0.6, 0.7, 0.8, 0.9, 1.0] {
@@ -271,8 +291,7 @@ pub fn fig9(repro: &Reproduction) -> Vec<(f64, usize, usize, f64)> {
     println!("paper: lower delay targets -> fewer active attentions; skips sit deep\n");
     let family = &repro.deit;
     let mut out = Vec::new();
-    let mut table =
-        Table::new(&["Target (ms)", "Efforts", "Low path", "High path", "F_L"]);
+    let mut table = Table::new(&["Target (ms)", "Efforts", "Low path", "High path", "F_L"]);
     for target in [58.0, 52.0, 46.0, 40.0, 35.0] {
         match phase2_at(repro, family, target, 0.7) {
             Some(r) => {

@@ -23,7 +23,12 @@ pub fn fig1b(sim: &Simulator) -> Vec<DelayShare> {
     println!("paper: attention (QKV+QKT+SM+SMxV+Proj) is 77.5%-81.9% of delay\n");
     let mut out = Vec::new();
     let mut table = Table::new(&[
-        "Model", "Total (ms)", "Attention %", "  QKV/Proj/QKT/SMV %", "Softmax %", "MLP %",
+        "Model",
+        "Total (ms)",
+        "Attention %",
+        "  QKV/Proj/QKT/SMV %",
+        "Softmax %",
+        "MLP %",
         "Other %",
     ]);
     for (geom, depth) in [(VitGeometry::deit_s(), 12), (VitGeometry::lvvit_s(), 16)] {
@@ -31,9 +36,7 @@ pub fn fig1b(sim: &Simulator) -> Vec<DelayShare> {
         let b = &perf.breakdown;
         let total = perf.delay_ms;
         let attention = b.attention_total_ms() / total;
-        let other = 1.0
-            - attention
-            - b.fraction(ModuleClass::Mlp);
+        let other = 1.0 - attention - b.fraction(ModuleClass::Mlp);
         table.row_owned(vec![
             geom.name.clone(),
             format!("{total:.2}"),
@@ -43,7 +46,10 @@ pub fn fig1b(sim: &Simulator) -> Vec<DelayShare> {
             format!("{:.1}", b.fraction(ModuleClass::Mlp) * 100.0),
             format!("{:.1}", other * 100.0),
         ]);
-        out.push(DelayShare { attention_fraction: attention, total_ms: total });
+        out.push(DelayShare {
+            attention_fraction: attention,
+            total_ms: total,
+        });
     }
     table.print();
     out
@@ -56,8 +62,13 @@ pub fn fig6a(repro: &Reproduction) -> Vec<(String, f64, f64, f64)> {
     println!("\n=== Fig. 6a: delay breakdown across encoder modules ===");
     println!("paper: softmax 60%->43% (DeiT-S), 63%->48% (LVViT-S); MLP share grows\n");
     let mut rows = Vec::new();
-    let mut table =
-        Table::new(&["Config", "Attention MAC %", "Softmax %", "MLP %", "Total (ms)"]);
+    let mut table = Table::new(&[
+        "Config",
+        "Attention MAC %",
+        "Softmax %",
+        "MLP %",
+        "Total (ms)",
+    ]);
 
     let mut push = |name: String, breakdown: &pivot_sim::DelayBreakdown| {
         let total = breakdown.total_ms();
@@ -77,12 +88,18 @@ pub fn fig6a(repro: &Reproduction) -> Vec<(String, f64, f64, f64)> {
     let deit_base = repro.sim.simulate(&repro.deit.geometry, &[true; 12]);
     push("DeiT-S".into(), &deit_base.breakdown);
     let pvds = pvds50(repro);
-    push(format!("PVDS-50 [{}+{}]", pvds.low_effort, pvds.high_effort), &pvds.perf.breakdown);
+    push(
+        format!("PVDS-50 [{}+{}]", pvds.low_effort, pvds.high_effort),
+        &pvds.perf.breakdown,
+    );
 
     let lv_base = repro.sim.simulate(&repro.lvvit.geometry, &[true; 16]);
     push("LVViT-S".into(), &lv_base.breakdown);
     let pvls = pvls50(repro);
-    push(format!("PVLS-50 [{}+{}]", pvls.low_effort, pvls.high_effort), &pvls.perf.breakdown);
+    push(
+        format!("PVLS-50 [{}+{}]", pvls.low_effort, pvls.high_effort),
+        &pvls.perf.breakdown,
+    );
 
     table.print();
     rows
@@ -106,7 +123,11 @@ pub fn fig6b(repro: &Reproduction) -> Vec<EnergyReduction> {
     println!("for the discussion of the paper's internal inconsistency here)\n");
     let mut out = Vec::new();
     let mut table = Table::new(&[
-        "Model", "Component", "Baseline (mJ)", "PIVOT (mJ)", "Reduction",
+        "Model",
+        "Component",
+        "Baseline (mJ)",
+        "PIVOT (mJ)",
+        "Reduction",
     ]);
     for (family, label, result) in [
         (&repro.deit, "PVDS-50", pvds50(repro)),
@@ -129,7 +150,10 @@ pub fn fig6b(repro: &Reproduction) -> Vec<EnergyReduction> {
             ]);
             components.push((c, b, p, reduction));
         }
-        out.push(EnergyReduction { label: label.to_string(), components });
+        out.push(EnergyReduction {
+            label: label.to_string(),
+            components,
+        });
     }
     table.print();
     out

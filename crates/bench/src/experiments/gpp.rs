@@ -29,8 +29,7 @@ fn run_methods(repro: &Reproduction) -> Vec<GppMethodResult> {
     // CPU/GPU, there is no energy-per-component story to trade against), so
     // the comparison uses the LEC-90 PVDS-50 point — consistent with the
     // paper's ~6% reported GPP overhead, which implies a small F_H.
-    let pvds = super::phase2_at(repro, &repro.deit, 50.0, 0.9)
-        .unwrap_or_else(|| pvds50(repro));
+    let pvds = super::phase2_at(repro, &repro.deit, 50.0, 0.9).unwrap_or_else(|| pvds50(repro));
     let low_mask = pvds.low_path.to_mask();
     let high_mask = pvds.high_path.to_mask();
     let f_high = pvds.stats.f_high();
@@ -70,8 +69,13 @@ pub fn fig1c(repro: &Reproduction) -> Vec<GppMethodResult> {
     println!("\n=== Fig. 1c: throughput on general-purpose platforms ===");
     println!("paper: PIVOT 1.2-1.5x baseline; ViTCOD ~ baseline; HeatViT < baseline\n");
     let results = run_methods(repro);
-    let mut table =
-        Table::new(&["Platform", "Baseline", "HeatViT", "ViTCOD", "PIVOT (PVDS-50)"]);
+    let mut table = Table::new(&[
+        "Platform",
+        "Baseline",
+        "HeatViT",
+        "ViTCOD",
+        "PIVOT (PVDS-50)",
+    ]);
     for platform in Platform::ALL {
         let name = platform.spec().name;
         let cell = |method: &str| {
@@ -102,8 +106,13 @@ pub fn fig7(repro: &Reproduction) -> Vec<GppMethodResult> {
     println!("\n=== Fig. 7: compute + overhead delay on GPPs ===");
     println!("paper: PIVOT overhead ~6%, mostly re-computation; entropy < 0.05%\n");
     let results = run_methods(repro);
-    let mut table =
-        Table::new(&["Platform", "Method", "Compute (ms)", "Overhead (ms)", "Total (ms)"]);
+    let mut table = Table::new(&[
+        "Platform",
+        "Method",
+        "Compute (ms)",
+        "Overhead (ms)",
+        "Total (ms)",
+    ]);
     for r in &results {
         table.row_owned(vec![
             r.platform.to_string(),

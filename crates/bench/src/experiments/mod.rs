@@ -9,6 +9,7 @@ mod accuracy;
 mod analysis;
 mod delay;
 mod gpp;
+mod parallel;
 
 pub use ablations::{
     ablation_dataflow, ablation_entropy_regularizer, ablation_gating, ablation_ladder,
@@ -18,6 +19,7 @@ pub use accuracy::{table2, table3, table4, ComparisonRow, EffortTableRow};
 pub use analysis::{fig3a, fig4a, fig4b, fig4c, fig8, fig9, LecPoint, PathAccuracyPoint};
 pub use delay::{fig1b, fig6a, fig6b, DelayShare, EnergyReduction};
 pub use gpp::{fig1c, fig7, GppMethodResult};
+pub use parallel::{parallel_speedup, ParallelSpeedup};
 
 use crate::harness::{FamilyArtifacts, Reproduction};
 use pivot_core::{Phase2Config, Phase2Result, Phase2Search};
@@ -30,8 +32,12 @@ pub fn phase2_at(
     delay_ms: f64,
     lec: f64,
 ) -> Option<Phase2Result> {
-    let search =
-        Phase2Search::new(&repro.sim, &family.geometry, family.efforts(), &repro.calibration);
+    let search = Phase2Search::new(
+        &repro.sim,
+        &family.geometry,
+        family.efforts(),
+        &repro.calibration,
+    );
     search.run(&Phase2Config {
         lec,
         delay_constraint_ms: delay_ms,
@@ -43,14 +49,12 @@ pub fn phase2_at(
 /// The PVDS-50 operating point used by several figures: DeiT-S at a 50 ms
 /// delay target, LEC 70%.
 pub fn pvds50(repro: &Reproduction) -> Phase2Result {
-    phase2_at(repro, &repro.deit, 50.0, 0.7)
-        .expect("a 50 ms target on DeiT-S must be feasible")
+    phase2_at(repro, &repro.deit, 50.0, 0.7).expect("a 50 ms target on DeiT-S must be feasible")
 }
 
 /// The PVLS-50 operating point: LVViT-S at a 50 ms target.
 pub fn pvls50(repro: &Reproduction) -> Phase2Result {
-    phase2_at(repro, &repro.lvvit, 50.0, 0.7)
-        .expect("a 50 ms target on LVViT-S must be feasible")
+    phase2_at(repro, &repro.lvvit, 50.0, 0.7).expect("a 50 ms target on LVViT-S must be feasible")
 }
 
 /// Evaluates a Phase-2 combination's cascade accuracy on the held-out test
@@ -70,10 +74,7 @@ pub fn cascade_test_accuracy(
         .iter()
         .find(|e| e.effort == result.high_effort)
         .expect("high effort exists");
-    let cascade = pivot_core::MultiEffortVit::new(
-        low.model.clone(),
-        high.model.clone(),
-        result.threshold,
-    );
+    let cascade =
+        pivot_core::MultiEffortVit::new(low.model.clone(), high.model.clone(), result.threshold);
     cascade.evaluate(&repro.dataset.test).accuracy()
 }

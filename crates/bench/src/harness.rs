@@ -235,7 +235,9 @@ impl Reproduction {
 }
 
 fn cache_dir(profile: Profile) -> PathBuf {
-    PathBuf::from("target").join("pivot-cache").join(profile.name())
+    PathBuf::from("target")
+        .join("pivot-cache")
+        .join(profile.name())
 }
 
 fn load_or_train_family(profile: Profile, family: Family, dataset: &Dataset) -> FamilyArtifacts {
@@ -243,15 +245,23 @@ fn load_or_train_family(profile: Profile, family: Family, dataset: &Dataset) -> 
     let tag = family.cache_tag();
     let teacher_path = dir.join(format!("{tag}_teacher.bin"));
     let efforts = profile.efforts(family);
-    let effort_paths: Vec<PathBuf> =
-        efforts.iter().map(|e| dir.join(format!("{tag}_effort_{e}.bin"))).collect();
+    let effort_paths: Vec<PathBuf> = efforts
+        .iter()
+        .map(|e| dir.join(format!("{tag}_effort_{e}.bin")))
+        .collect();
 
     let cached = teacher_path.exists() && effort_paths.iter().all(|p| p.exists());
     let artifacts = if cached {
-        eprintln!("[harness] loading cached {tag} family from {}", dir.display());
+        eprintln!(
+            "[harness] loading cached {tag} family from {}",
+            dir.display()
+        );
         rebuild_from_cache(&teacher_path, &effort_paths, &efforts, dataset)
     } else {
-        eprintln!("[harness] training {tag} family (profile {})...", profile.name());
+        eprintln!(
+            "[harness] training {tag} family (profile {})...",
+            profile.name()
+        );
         let pipeline = PivotPipeline::new(profile.pipeline_config(family, dataset.config.classes));
         let artifacts = pipeline.run(dataset);
         std::fs::create_dir_all(&dir).ok();
@@ -283,21 +293,34 @@ fn rebuild_from_cache(
     let teacher = VisionTransformer::load(teacher_path).expect("cached teacher readable");
     let batch: Vec<&Sample> = dataset.train.iter().take(96).collect();
     let cka = compute_cka_matrix(&teacher, &batch);
-    let phase1: Vec<_> =
-        efforts.iter().map(|&e| pivot_core::select_optimal_path(e, &cka)).collect();
+    let phase1: Vec<_> = efforts
+        .iter()
+        .map(|&e| pivot_core::select_optimal_path(e, &cka))
+        .collect();
     let effort_models: Vec<EffortModel> = effort_paths
         .iter()
         .zip(efforts)
         .map(|(path, &effort)| {
             let model = VisionTransformer::load(path).expect("cached effort readable");
-            let mask: Vec<bool> =
-                (0..model.config().depth).map(|i| model.active_attentions().contains(&i)).collect();
+            let mask: Vec<bool> = (0..model.config().depth)
+                .map(|i| model.active_attentions().contains(&i))
+                .collect();
             let path_config = pivot_core::PathConfig::from_mask(&mask);
             let score = pivot_core::path_score(&path_config, &cka);
-            EffortModel { effort, path: path_config, score, model }
+            EffortModel {
+                effort,
+                path: path_config,
+                score,
+                model,
+            }
         })
         .collect();
-    PivotArtifacts { teacher, cka, phase1, efforts: effort_models }
+    PivotArtifacts {
+        teacher,
+        cka,
+        phase1,
+        efforts: effort_models,
+    }
 }
 
 #[cfg(test)]

@@ -21,13 +21,19 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells are blank, extras are dropped.
     pub fn row(&mut self, cells: &[&str]) {
-        let mut row: Vec<String> =
-            cells.iter().take(self.headers.len()).map(|s| s.to_string()).collect();
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|s| s.to_string())
+            .collect();
         row.resize(self.headers.len(), String::new());
         self.rows.push(row);
     }

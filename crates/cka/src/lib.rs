@@ -87,7 +87,10 @@ pub fn linear_hsic(x: &Matrix, y: &Matrix) -> f32 {
 ///
 /// Panics if the samples have inconsistent shapes or the list is empty.
 pub fn stack_flattened(samples: &[Matrix]) -> Matrix {
-    assert!(!samples.is_empty(), "stack_flattened needs at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "stack_flattened needs at least one sample"
+    );
     let shape = samples[0].shape();
     let features = shape.0 * shape.1;
     let mut out = Matrix::zeros(samples.len(), features);
@@ -247,7 +250,9 @@ mod tests {
     #[test]
     fn cka_matrix_upper_triangle_only() {
         let mut rng = Rng::new(8);
-        let reps: Vec<Matrix> = (0..3).map(|_| Matrix::randn(20, 5, 1.0, &mut rng)).collect();
+        let reps: Vec<Matrix> = (0..3)
+            .map(|_| Matrix::randn(20, 5, 1.0, &mut rng))
+            .collect();
         let m = CkaMatrix::compute(&reps, &reps);
         assert_eq!(m.depth(), 3);
         for i in 0..3 {

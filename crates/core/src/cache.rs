@@ -1,0 +1,306 @@
+//! Entropy cache: low-effort logits computed once, served everywhere.
+//!
+//! Phase 2's threshold iteration and the cascade's `F_L` queries all need
+//! the same quantity — the normalized entropy of the **low-effort** logits
+//! of every calibration sample. Re-running low-effort inference per probed
+//! threshold makes a sweep O(thresholds x N x forward-pass);
+//! [`CascadeCache`] computes the logits once (on the
+//! [`par_map`](crate::parallel::par_map) worker pool), derives entropies
+//! and argmax predictions, and then answers every threshold query in O(N)
+//! with no model in the loop.
+//!
+//! ## Invariants
+//!
+//! * `low_logits[i]`, `entropies[i]` and `low_predictions[i]` all describe
+//!   sample `i` of the set the cache was built from, in input order.
+//! * `entropies[i]` is exactly `normalized_entropy(&low_logits[i])` — the
+//!   cache stores derived values, it never re-derives them differently.
+//! * A cache is tied to one (model, sample set) pair; callers index it
+//!   with the same sample slice they built it from (checked by length).
+//! * Queries are pure reads: building with any [`Parallelism`] yields
+//!   bit-identical contents, so every downstream result is deterministic.
+
+use crate::cascade::{stays_low, CascadeStats};
+use crate::parallel::{par_map, Parallelism};
+use pivot_data::Sample;
+use pivot_nn::normalized_entropies;
+use pivot_tensor::Matrix;
+use pivot_vit::VisionTransformer;
+
+/// Cached low-effort inference over one sample set.
+///
+/// # Example
+///
+/// ```
+/// use pivot_core::{CascadeCache, Parallelism};
+/// use pivot_data::{Dataset, DatasetConfig};
+/// use pivot_tensor::Rng;
+/// use pivot_vit::{VisionTransformer, VitConfig};
+///
+/// let model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(0));
+/// let samples =
+///     Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.3], 8, 1);
+/// let cache = CascadeCache::build(&model, &samples, Parallelism::Auto);
+/// assert_eq!(cache.len(), samples.len());
+/// assert_eq!(cache.f_low_at(1.0), 1.0); // inclusive top boundary
+/// ```
+#[derive(Debug, Clone)]
+pub struct CascadeCache {
+    low_logits: Vec<Matrix>,
+    entropies: Vec<f32>,
+    low_predictions: Vec<usize>,
+}
+
+impl CascadeCache {
+    /// Runs low-effort inference over `samples` on the worker pool and
+    /// caches logits, normalized entropies and argmax predictions.
+    pub fn build(low: &VisionTransformer, samples: &[Sample], par: Parallelism) -> Self {
+        let low_logits = par_map(samples, par, |_, s| low.infer(&s.image));
+        let entropies = normalized_entropies(&low_logits);
+        let low_predictions = low_logits.iter().map(|l| l.row_argmax(0)).collect();
+        Self {
+            low_logits,
+            entropies,
+            low_predictions,
+        }
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.entropies.len()
+    }
+
+    /// Whether the cache holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.entropies.is_empty()
+    }
+
+    /// The cached low-effort logits, in sample order.
+    pub fn low_logits(&self) -> &[Matrix] {
+        &self.low_logits
+    }
+
+    /// The cached normalized entropies, in sample order.
+    pub fn entropies(&self) -> &[f32] {
+        &self.entropies
+    }
+
+    /// The cached low-effort argmax prediction of sample `i`.
+    pub fn low_prediction(&self, i: usize) -> usize {
+        self.low_predictions[i]
+    }
+
+    /// Fraction of cached samples the low effort would classify at
+    /// `threshold` (`F_L`), in O(N) with no inference. Returns 0.0 for an
+    /// empty cache.
+    pub fn f_low_at(&self, threshold: f32) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let below = self
+            .entropies
+            .iter()
+            .filter(|&&e| stays_low(e, threshold))
+            .count();
+        below as f64 / self.len() as f64
+    }
+
+    /// `F_L` at each of `thresholds` — a whole sweep for one cache build.
+    pub fn f_low_curve(&self, thresholds: &[f32]) -> Vec<f64> {
+        thresholds.iter().map(|&th| self.f_low_at(th)).collect()
+    }
+
+    /// Indices of the samples that escalate to the high effort at
+    /// `threshold`, in sample order.
+    pub fn escalated(&self, threshold: f32) -> Vec<usize> {
+        self.entropies
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &e)| (!stays_low(e, threshold)).then_some(i))
+            .collect()
+    }
+
+    /// Phase 2's incremental threshold iteration on cached entropies: the
+    /// smallest multiple of `step` (capped at 1.0) whose `F_L` reaches
+    /// `lec`. Because the top boundary is inclusive, `F_L(1.0) = 1.0` and
+    /// the iteration always terminates at or before 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn threshold_reaching(&self, lec: f64, step: f32) -> f32 {
+        assert!(step > 0.0, "threshold step must be positive");
+        let mut threshold = step;
+        while self.f_low_at(threshold) < lec && threshold < 1.0 {
+            threshold += step;
+        }
+        threshold.min(1.0)
+    }
+
+    /// Evaluates the cascade against ground-truth labels at `threshold`:
+    /// low-effort outcomes come from the cache, only the escalated samples
+    /// run high-effort inference (on the worker pool). Statistics are
+    /// accumulated in sample order, so the result is bit-identical for
+    /// any [`Parallelism`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not the set the cache was built from (length
+    /// check).
+    pub fn evaluate(
+        &self,
+        high: &VisionTransformer,
+        samples: &[Sample],
+        threshold: f32,
+        par: Parallelism,
+    ) -> CascadeStats {
+        assert_eq!(
+            samples.len(),
+            self.len(),
+            "cache built from a different sample set"
+        );
+        let escalated = self.escalated(threshold);
+        let high_correct = par_map(&escalated, par, |_, &i| {
+            high.infer(&samples[i].image).row_argmax(0) == samples[i].label
+        });
+
+        let mut stats = CascadeStats::default();
+        let mut next_escalated = 0;
+        for (i, sample) in samples.iter().enumerate() {
+            if next_escalated < escalated.len() && escalated[next_escalated] == i {
+                stats.n_high += 1;
+                if high_correct[next_escalated] {
+                    stats.c_high += 1;
+                } else {
+                    stats.i_high += 1;
+                }
+                next_escalated += 1;
+            } else {
+                stats.n_low += 1;
+                if self.low_predictions[i] == sample.label {
+                    stats.c_low += 1;
+                } else {
+                    stats.i_low += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiEffortVit;
+    use pivot_data::{Dataset, DatasetConfig};
+    use pivot_nn::normalized_entropy;
+    use pivot_tensor::Rng;
+    use pivot_vit::VitConfig;
+
+    fn model(seed: u64, active: &[usize]) -> VisionTransformer {
+        let mut m = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(seed));
+        m.set_active_attentions(active);
+        m
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.2, 0.8], n / 2, seed)
+    }
+
+    #[test]
+    fn cache_matches_direct_inference() {
+        let low = model(0, &[0]);
+        let set = samples(12, 1);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        for (i, s) in set.iter().enumerate() {
+            let logits = low.infer(&s.image);
+            assert!(cache.low_logits()[i].approx_eq(&logits, 0.0));
+            assert_eq!(
+                cache.entropies()[i].to_bits(),
+                normalized_entropy(&logits).to_bits()
+            );
+            assert_eq!(cache.low_prediction(i), logits.row_argmax(0));
+        }
+    }
+
+    #[test]
+    fn build_is_identical_across_parallelism() {
+        let low = model(2, &[0, 1]);
+        let set = samples(14, 3);
+        let seq = CascadeCache::build(&low, &set, Parallelism::Off);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Fixed(3),
+            Parallelism::Fixed(16),
+        ] {
+            let p = CascadeCache::build(&low, &set, par);
+            for i in 0..seq.len() {
+                assert_eq!(seq.entropies()[i].to_bits(), p.entropies()[i].to_bits());
+                assert!(seq.low_logits()[i].approx_eq(&p.low_logits()[i], 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn f_low_agrees_with_multi_effort_vit() {
+        let low = model(4, &[0]);
+        let high = model(5, &[0, 1]);
+        let set = samples(20, 6);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        let cascade = MultiEffortVit::new(low, high, 0.5);
+        for th in [0.0, 0.3, 0.62, 0.97, 1.0] {
+            assert_eq!(cache.f_low_at(th), cascade.f_low_at(&set, th), "Th={th}");
+        }
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_fraction() {
+        let low = model(7, &[0]);
+        let cache = CascadeCache::build(&low, &[], Parallelism::Auto);
+        assert!(cache.is_empty());
+        assert_eq!(cache.f_low_at(0.5), 0.0);
+        assert!(cache.escalated(0.5).is_empty());
+    }
+
+    #[test]
+    fn threshold_reaching_respects_lec_and_cap() {
+        let low = model(8, &[0]);
+        let set = samples(20, 9);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        let th = cache.threshold_reaching(0.5, 0.02);
+        assert!(th <= 1.0);
+        assert!(cache.f_low_at(th) >= 0.5 || (th - 1.0).abs() < 1e-6);
+        // An unreachable LEC caps at 1.0, where the inclusive gate gives
+        // F_L = 1 and the constraint is met after all.
+        let capped = cache.threshold_reaching(2.0, 0.3);
+        assert_eq!(capped, 1.0);
+        assert_eq!(cache.f_low_at(capped), 1.0);
+    }
+
+    #[test]
+    fn evaluate_matches_cascade_evaluate() {
+        let low = model(10, &[0]);
+        let high = model(11, &[0, 1]);
+        let set = samples(16, 12);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        for th in [0.0, 0.4, 0.8, 1.0] {
+            let cascade = MultiEffortVit::new(low.clone(), high.clone(), th);
+            let direct = cascade.evaluate(&set);
+            let cached = cache.evaluate(&high, &set, th, Parallelism::Fixed(3));
+            assert_eq!(direct, cached, "Th={th}");
+        }
+    }
+
+    #[test]
+    fn f_low_curve_is_monotone() {
+        let low = model(13, &[0]);
+        let set = samples(18, 14);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        let thresholds = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+        let curve = cache.f_low_curve(&thresholds);
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*curve.last().expect("non-empty"), 1.0);
+    }
+}

@@ -1,9 +1,25 @@
 //! The entropy-gated multi-effort inference engine (paper Fig. 2a).
 
+use crate::cache::CascadeCache;
+use crate::parallel::{par_map, Parallelism};
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
 use pivot_vit::VisionTransformer;
+
+/// The entropy gate of Fig. 2a: `true` when a sample with normalized
+/// entropy `entropy` stays at the low effort under threshold `threshold`.
+///
+/// The gate is the paper's strict `E(x) < Th` everywhere except the top
+/// boundary: at `Th = 1.0` it is inclusive, so `F_L = 1` holds even for
+/// exactly uniform logits whose normalized entropy is 1.0 (or a float ulp
+/// above). Every gating site — [`MultiEffortVit::infer`],
+/// [`MultiEffortVit::f_low_at`], [`CascadeCache`](crate::CascadeCache) and
+/// Phase 2's threshold iteration — uses this one function, so the
+/// boundary semantics cannot drift apart.
+pub fn stays_low(entropy: f32, threshold: f32) -> bool {
+    entropy < threshold || threshold >= 1.0
+}
 
 /// Outcome of one cascaded inference.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +57,8 @@ impl CascadeStats {
         self.n_low + self.n_high
     }
 
-    /// Fraction classified by the low effort (`F_L`).
+    /// Fraction classified by the low effort (`F_L`). 0.0 when nothing
+    /// was evaluated.
     pub fn f_low(&self) -> f64 {
         if self.total() == 0 {
             0.0
@@ -50,9 +67,15 @@ impl CascadeStats {
         }
     }
 
-    /// Fraction escalated to the high effort (`F_H`).
+    /// Fraction escalated to the high effort (`F_H`). 0.0 when nothing
+    /// was evaluated (an empty evaluation escalated nothing — it is not
+    /// "all high").
     pub fn f_high(&self) -> f64 {
-        1.0 - self.f_low()
+        if self.total() == 0 {
+            0.0
+        } else {
+            1.0 - self.f_low()
+        }
     }
 
     /// Overall accuracy, computed from `C_L` and `C_H` as in Fig. 2a.
@@ -63,10 +86,35 @@ impl CascadeStats {
             (self.c_low + self.c_high) as f64 / self.total() as f64
         }
     }
+
+    /// Accumulates one outcome in sample order (used by the evaluation
+    /// engine's deterministic reduction).
+    fn record(&mut self, used_high: bool, correct: bool) {
+        if used_high {
+            self.n_high += 1;
+            if correct {
+                self.c_high += 1;
+            } else {
+                self.i_high += 1;
+            }
+        } else {
+            self.n_low += 1;
+            if correct {
+                self.c_low += 1;
+            } else {
+                self.i_low += 1;
+            }
+        }
+    }
 }
 
 /// A two-effort ViT: all inputs run the low effort; those with logit
 /// entropy above the threshold re-run the high effort.
+///
+/// Batch evaluations (`evaluate`, `evaluate_with_oracle`, `f_low_at`) run
+/// on a deterministic worker pool sized by the cascade's [`Parallelism`]
+/// (default [`Parallelism::Auto`]); results are bit-identical to
+/// sequential execution for every setting.
 ///
 /// # Example
 ///
@@ -89,6 +137,7 @@ pub struct MultiEffortVit {
     low: VisionTransformer,
     high: VisionTransformer,
     threshold: f32,
+    parallelism: Parallelism,
 }
 
 impl MultiEffortVit {
@@ -100,13 +149,21 @@ impl MultiEffortVit {
     /// Panics if the threshold is not in `[0, 1]` or the models disagree on
     /// class count.
     pub fn new(low: VisionTransformer, high: VisionTransformer, threshold: f32) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
         assert_eq!(
             low.config().num_classes,
             high.config().num_classes,
             "efforts must share the class space"
         );
-        Self { low, high, threshold }
+        Self {
+            low,
+            high,
+            threshold,
+            parallelism: Parallelism::Auto,
+        }
     }
 
     /// The entropy threshold `Th`.
@@ -120,8 +177,27 @@ impl MultiEffortVit {
     ///
     /// Panics if the threshold is not in `[0, 1]`.
     pub fn set_threshold(&mut self, threshold: f32) {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
         self.threshold = threshold;
+    }
+
+    /// The parallelism used by batch evaluations.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Sets the parallelism used by batch evaluations.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Builder-style [`Self::set_parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The low-effort model.
@@ -138,7 +214,7 @@ impl MultiEffortVit {
     pub fn infer(&self, image: &Matrix) -> CascadeOutcome {
         let logits_low = self.low.infer(image);
         let entropy_low = normalized_entropy(&logits_low);
-        if entropy_low < self.threshold {
+        if stays_low(entropy_low, self.threshold) {
             CascadeOutcome {
                 prediction: logits_low.row_argmax(0),
                 entropy_low,
@@ -156,28 +232,32 @@ impl MultiEffortVit {
         }
     }
 
+    /// Builds the entropy cache for `samples`: low-effort logits,
+    /// normalized entropies and predictions, computed once on the worker
+    /// pool. Threshold sweeps and repeated `F_L` queries should go
+    /// through the cache instead of re-running inference per threshold.
+    pub fn cache(&self, samples: &[Sample]) -> CascadeCache {
+        CascadeCache::build(&self.low, samples, self.parallelism)
+    }
+
     /// Evaluates the cascade on labeled samples, producing the paper's
-    /// `C_L/I_L/C_H/I_H/F_L/F_H` statistics.
+    /// `C_L/I_L/C_H/I_H/F_L/F_H` statistics, using the cascade's
+    /// configured parallelism.
     pub fn evaluate(&self, samples: &[Sample]) -> CascadeStats {
-        let mut stats = CascadeStats::default();
-        for sample in samples {
+        self.evaluate_with(samples, self.parallelism)
+    }
+
+    /// [`Self::evaluate`] with an explicit parallelism. The per-sample
+    /// outcomes are computed on the pool and reduced in sample order, so
+    /// the statistics are bit-identical for every `par`.
+    pub fn evaluate_with(&self, samples: &[Sample], par: Parallelism) -> CascadeStats {
+        let outcomes = par_map(samples, par, |_, sample| {
             let outcome = self.infer(&sample.image);
-            let correct = outcome.prediction == sample.label;
-            if outcome.used_high {
-                stats.n_high += 1;
-                if correct {
-                    stats.c_high += 1;
-                } else {
-                    stats.i_high += 1;
-                }
-            } else {
-                stats.n_low += 1;
-                if correct {
-                    stats.c_low += 1;
-                } else {
-                    stats.i_low += 1;
-                }
-            }
+            (outcome.used_high, outcome.prediction == sample.label)
+        });
+        let mut stats = CascadeStats::default();
+        for (used_high, correct) in outcomes {
+            stats.record(used_high, correct);
         }
         stats
     }
@@ -192,26 +272,25 @@ impl MultiEffortVit {
         samples: &[Sample],
         difficulty_threshold: f32,
     ) -> CascadeStats {
-        let mut stats = CascadeStats::default();
-        for sample in samples {
+        self.evaluate_with_oracle_par(samples, difficulty_threshold, self.parallelism)
+    }
+
+    /// [`Self::evaluate_with_oracle`] with an explicit parallelism.
+    pub fn evaluate_with_oracle_par(
+        &self,
+        samples: &[Sample],
+        difficulty_threshold: f32,
+        par: Parallelism,
+    ) -> CascadeStats {
+        let outcomes = par_map(samples, par, |_, sample| {
             let easy = sample.difficulty < difficulty_threshold;
             let model = if easy { &self.low } else { &self.high };
             let correct = model.infer(&sample.image).row_argmax(0) == sample.label;
-            if easy {
-                stats.n_low += 1;
-                if correct {
-                    stats.c_low += 1;
-                } else {
-                    stats.i_low += 1;
-                }
-            } else {
-                stats.n_high += 1;
-                if correct {
-                    stats.c_high += 1;
-                } else {
-                    stats.i_high += 1;
-                }
-            }
+            (!easy, correct)
+        });
+        let mut stats = CascadeStats::default();
+        for (used_high, correct) in outcomes {
+            stats.record(used_high, correct);
         }
         stats
     }
@@ -219,15 +298,12 @@ impl MultiEffortVit {
     /// The fraction of `samples` the low effort would classify at a given
     /// threshold, without running the high effort (used by Phase 2's
     /// threshold iteration).
+    ///
+    /// One call runs low-effort inference once (on the worker pool). To
+    /// probe many thresholds, build [`Self::cache`] once and query
+    /// [`CascadeCache::f_low_at`] per threshold in O(N).
     pub fn f_low_at(&self, samples: &[Sample], threshold: f32) -> f64 {
-        if samples.is_empty() {
-            return 0.0;
-        }
-        let below = samples
-            .iter()
-            .filter(|s| normalized_entropy(&self.low.infer(&s.image)) < threshold)
-            .count();
-        below as f64 / samples.len() as f64
+        self.cache(samples).f_low_at(threshold)
     }
 }
 
@@ -255,6 +331,18 @@ mod tests {
         )
     }
 
+    /// Zeroes the classifier head so every input yields exactly uniform
+    /// logits — normalized entropy 1.0, the hardest possible sample.
+    fn zero_head(model: &mut VisionTransformer) {
+        let mut params = model.params_mut();
+        // Patch embed, cls token, pos embed, encoder blocks, final norm,
+        // then head weight + bias last.
+        let n = params.len();
+        for p in params.iter_mut().skip(n - 2) {
+            p.value = Matrix::zeros(p.value.rows(), p.value.cols());
+        }
+    }
+
     #[test]
     fn threshold_zero_always_escalates() {
         let (low, high) = models(0);
@@ -272,6 +360,56 @@ mod tests {
         let stats = cascade.evaluate(&samples(20, 3));
         assert_eq!(stats.n_high, 0);
         assert_eq!(stats.f_low(), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_stay_low_at_threshold_one() {
+        // Regression: a sample with exactly uniform logits has normalized
+        // entropy 1.0. With a strict `<` gate it escaped even at Th = 1.0,
+        // contradicting the paper's "F_L = 1 at Th = 1" semantics; the
+        // gate is inclusive at the top boundary.
+        let (mut low, high) = models(20);
+        zero_head(&mut low);
+        let set = samples(8, 21);
+        let entropy = normalized_entropy(&low.infer(&set[0].image));
+        assert!(
+            (entropy - 1.0).abs() < 1e-6,
+            "zeroed head must give uniform logits, entropy {entropy}"
+        );
+
+        let cascade = MultiEffortVit::new(low, high, 1.0);
+        let out = cascade.infer(&set[0].image);
+        assert!(!out.used_high, "uniform logits must stay low at Th = 1.0");
+        let stats = cascade.evaluate(&set);
+        assert_eq!(stats.n_high, 0);
+        assert_eq!(stats.f_low(), 1.0);
+        assert_eq!(cascade.f_low_at(&set, 1.0), 1.0);
+
+        // Just below the boundary the same samples all escalate.
+        let mut strict = cascade.clone();
+        strict.set_threshold(0.999);
+        assert!(strict.infer(&set[0].image).used_high);
+    }
+
+    #[test]
+    fn gate_is_strict_below_the_boundary() {
+        assert!(stays_low(0.39, 0.4));
+        assert!(!stays_low(0.4, 0.4));
+        assert!(!stays_low(0.41, 0.4));
+        assert!(!stays_low(0.0, 0.0));
+        assert!(stays_low(1.0, 1.0));
+        assert!(stays_low(1.0 + f32::EPSILON, 1.0));
+    }
+
+    #[test]
+    fn empty_evaluation_has_no_high_fraction() {
+        // Regression: `f_high()` reported 1.0 on an empty evaluation
+        // because `f_low()` returns 0.0 when `total() == 0`.
+        let stats = CascadeStats::default();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.f_low(), 0.0);
+        assert_eq!(stats.f_high(), 0.0);
+        assert_eq!(stats.accuracy(), 0.0);
     }
 
     #[test]
@@ -302,14 +440,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_evaluate_is_bit_identical() {
+        let (low, high) = models(30);
+        let cascade = MultiEffortVit::new(low, high, 0.5);
+        let set = samples(24, 31);
+        let seq = cascade.evaluate_with(&set, Parallelism::Off);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(9),
+        ] {
+            assert_eq!(seq, cascade.evaluate_with(&set, par), "under {par:?}");
+        }
+        let oracle_seq = cascade.evaluate_with_oracle_par(&set, 0.5, Parallelism::Off);
+        for par in [Parallelism::Auto, Parallelism::Fixed(3)] {
+            assert_eq!(
+                oracle_seq,
+                cascade.evaluate_with_oracle_par(&set, 0.5, par),
+                "oracle under {par:?}"
+            );
+        }
+    }
+
+    #[test]
     fn outcome_reports_matching_logits() {
         let (low, high) = models(8);
         let cascade = MultiEffortVit::new(low.clone(), high.clone(), 0.5);
         let set = samples(10, 9);
         for s in &set {
             let out = cascade.infer(&s.image);
-            let expected =
-                if out.used_high { high.infer(&s.image) } else { low.infer(&s.image) };
+            let expected = if out.used_high {
+                high.infer(&s.image)
+            } else {
+                low.infer(&s.image)
+            };
             assert!(out.logits.approx_eq(&expected, 1e-6));
             assert_eq!(out.prediction, expected.row_argmax(0));
         }

@@ -10,6 +10,10 @@
 //! * [`cascade`] — the entropy-gated low/high effort inference engine
 //!   (Fig. 2a) and its accuracy calculator (`C_L`, `I_L`, `C_H`, `I_H`,
 //!   `F_L`, `F_H`).
+//! * [`cache`] — the entropy cache: low-effort logits computed once per
+//!   sample set, serving `F_L` queries and threshold sweeps in O(N).
+//! * [`parallel`] — the deterministic scoped-thread worker pool behind
+//!   every batched evaluation ([`Parallelism`], [`par_map`]).
 //! * [`phase2`] — the hardware-in-the-loop search for the optimal effort
 //!   combination under LEC and delay constraints (Fig. 2c), with
 //!   `pivot-sim` in the loop.
@@ -20,8 +24,10 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod cascade;
 pub mod multilevel;
+pub mod parallel;
 pub mod path;
 pub mod phase1;
 pub mod phase2;
@@ -30,10 +36,12 @@ pub mod score;
 pub mod search_space;
 pub mod train_cost;
 
-pub use cascade::{CascadeOutcome, CascadeStats, MultiEffortVit};
+pub use cache::CascadeCache;
+pub use cascade::{stays_low, CascadeOutcome, CascadeStats, MultiEffortVit};
 pub use multilevel::{EffortLadder, LadderOutcome, LadderStats};
+pub use parallel::{par_map, Parallelism};
 pub use path::PathConfig;
-pub use phase1::{select_optimal_path, Phase1Result, ScoredPath};
+pub use phase1::{select_optimal_path, select_optimal_path_with, Phase1Result, ScoredPath};
 pub use phase2::{EffortModel, Phase2Config, Phase2Result, Phase2Search};
 pub use pipeline::{compute_cka_matrix, PipelineConfig, PivotArtifacts, PivotPipeline};
 pub use score::path_score;

@@ -50,7 +50,10 @@ impl LadderStats {
     /// Fraction of inputs classified at each level.
     pub fn level_fractions(&self) -> Vec<f64> {
         let total = self.total().max(1) as f64;
-        self.per_level.iter().map(|&(n, _)| n as f64 / total).collect()
+        self.per_level
+            .iter()
+            .map(|&(n, _)| n as f64 / total)
+            .collect()
     }
 
     /// Average number of model evaluations per input (1 = every input
@@ -147,7 +150,11 @@ impl EffortLadder {
             entropies.push(entropy);
             let is_last = i == self.levels.len() - 1;
             if is_last || entropy < self.thresholds[i] {
-                return LadderOutcome { level: i, prediction: logits.row_argmax(0), entropies };
+                return LadderOutcome {
+                    level: i,
+                    prediction: logits.row_argmax(0),
+                    entropies,
+                };
             }
         }
         unreachable!("last level always accepts");
@@ -155,7 +162,9 @@ impl EffortLadder {
 
     /// Evaluates the ladder on labeled samples.
     pub fn evaluate(&self, samples: &[Sample]) -> LadderStats {
-        let mut stats = LadderStats { per_level: vec![(0, 0); self.levels.len()] };
+        let mut stats = LadderStats {
+            per_level: vec![(0, 0); self.levels.len()],
+        };
         for s in samples {
             let out = self.infer(&s.image);
             let entry = &mut stats.per_level[out.level];
@@ -213,10 +222,8 @@ mod tests {
     #[test]
     fn two_level_ladder_matches_multi_effort_vit() {
         let ms = models(0);
-        let ladder =
-            EffortLadder::new(vec![ms[0].clone(), ms[2].clone()], vec![0.6]);
-        let cascade =
-            crate::MultiEffortVit::new(ms[0].clone(), ms[2].clone(), 0.6);
+        let ladder = EffortLadder::new(vec![ms[0].clone(), ms[2].clone()], vec![0.6]);
+        let cascade = crate::MultiEffortVit::new(ms[0].clone(), ms[2].clone(), 0.6);
         let set = samples(1);
         let a = ladder.evaluate_as_two_level(&set);
         let b = cascade.evaluate(&set);

@@ -1,0 +1,159 @@
+//! Deterministic scoped-thread worker pool for batched evaluation.
+//!
+//! Every parallel operation in `pivot-core` funnels through [`par_map`],
+//! which distributes items over `std::thread::scope` workers with a shared
+//! atomic work queue and then **reassembles results in item order**. The
+//! per-item closures are pure, so the output is bit-identical to a
+//! sequential map regardless of worker count or scheduling — the property
+//! the `seq == par` proptests in `cascade`/`phase1` pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How much host parallelism an evaluation may use.
+///
+/// Threaded through [`MultiEffortVit`](crate::MultiEffortVit),
+/// [`CascadeCache`](crate::CascadeCache),
+/// [`Phase2Search`](crate::Phase2Search) and
+/// [`select_optimal_path_with`](crate::phase1::select_optimal_path_with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available hardware thread (the default).
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to at least one).
+    Fixed(usize),
+    /// Strictly sequential execution on the calling thread.
+    Off,
+}
+
+impl Parallelism {
+    /// The number of workers used for a batch of `items` work items.
+    pub fn workers(&self, items: usize) -> usize {
+        let cap = match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        cap.min(items).max(1)
+    }
+}
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// item order.
+///
+/// Work is handed out through an atomic counter, so long items do not
+/// stall idle workers; each worker accumulates `(index, result)` pairs
+/// locally and the pool re-slots them by index afterwards. With
+/// [`Parallelism::Off`] (or a single worker) this degenerates to a plain
+/// sequential map with no thread or allocation overhead.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the pool joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = par.workers(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in item order so the result is independent of scheduling.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} computed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_and_fixed_one_are_sequential() {
+        assert_eq!(Parallelism::Off.workers(100), 1);
+        assert_eq!(Parallelism::Fixed(1).workers(100), 1);
+        assert_eq!(Parallelism::Fixed(0).workers(100), 1);
+    }
+
+    #[test]
+    fn workers_clamp_to_item_count() {
+        assert_eq!(Parallelism::Fixed(8).workers(3), 3);
+        assert_eq!(Parallelism::Fixed(8).workers(0), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+        ] {
+            let out = par_map(&items, par, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "order broken under {par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, Parallelism::Auto, |_, &x| x).is_empty());
+        assert_eq!(
+            par_map(&[41u32], Parallelism::Fixed(4), |_, &x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_float_reduction() {
+        // Per-item float results must be bit-identical: each item is
+        // computed by exactly one worker with the same instructions.
+        let items: Vec<f64> = (0..1000).map(|i| i as f64 * 0.37).collect();
+        let seq = par_map(&items, Parallelism::Off, |_, &x| {
+            (x.sin() * x.cos()).to_bits()
+        });
+        let par = par_map(&items, Parallelism::Fixed(5), |_, &x| {
+            (x.sin() * x.cos()).to_bits()
+        });
+        assert_eq!(seq, par);
+    }
+}

@@ -39,7 +39,10 @@ impl PathConfig {
 
     /// The full-effort path: every attention active.
     pub fn full(depth: usize) -> Self {
-        Self { depth, active: (0..depth).collect() }
+        Self {
+            depth,
+            active: (0..depth).collect(),
+        }
     }
 
     /// Builds a path from a boolean activity mask.
@@ -49,7 +52,10 @@ impl PathConfig {
             .enumerate()
             .filter_map(|(i, &a)| a.then_some(i))
             .collect();
-        Self { depth: mask.len(), active }
+        Self {
+            depth: mask.len(),
+            active,
+        }
     }
 
     /// Encoder count.
@@ -100,7 +106,10 @@ impl PathConfig {
             out: &mut Vec<PathConfig>,
         ) {
             if current.len() == effort {
-                out.push(PathConfig { depth, active: current.clone() });
+                out.push(PathConfig {
+                    depth,
+                    active: current.clone(),
+                });
                 return;
             }
             let remaining = effort - current.len();

@@ -1,5 +1,6 @@
 //! Phase 1: optimal path selection per effort (paper Fig. 2b).
 
+use crate::parallel::{par_map, Parallelism};
 use crate::{path_score, PathConfig};
 use pivot_cka::CkaMatrix;
 
@@ -35,14 +36,27 @@ pub struct Phase1Result {
 ///
 /// Panics if `effort > cka.depth()`.
 pub fn select_optimal_path(effort: usize, cka: &CkaMatrix) -> Phase1Result {
+    select_optimal_path_with(effort, cka, Parallelism::Auto)
+}
+
+/// [`select_optimal_path`] with explicit parallelism: the `C(depth,
+/// effort)` candidate paths are scored across the worker pool. Scores are
+/// computed per path and re-assembled in enumeration order before the
+/// (deterministic) sort, so the result is bit-identical to sequential
+/// execution for every `par`.
+///
+/// # Panics
+///
+/// Panics if `effort > cka.depth()`.
+pub fn select_optimal_path_with(effort: usize, cka: &CkaMatrix, par: Parallelism) -> Phase1Result {
     let depth = cka.depth();
     assert!(effort <= depth, "effort {effort} exceeds depth {depth}");
-    let mut ranked: Vec<ScoredPath> = PathConfig::enumerate(depth, effort)
+    let paths = PathConfig::enumerate(depth, effort);
+    let scores = par_map(&paths, par, |_, path| path_score(path, cka));
+    let mut ranked: Vec<ScoredPath> = paths
         .into_iter()
-        .map(|path| {
-            let score = path_score(&path, cka);
-            ScoredPath { path, score }
-        })
+        .zip(scores)
+        .map(|(path, score)| ScoredPath { path, score })
         .collect();
     ranked.sort_by(|a, b| {
         b.score
@@ -51,7 +65,11 @@ pub fn select_optimal_path(effort: usize, cka: &CkaMatrix) -> Phase1Result {
             .then_with(|| a.path.active().cmp(b.path.active()))
     });
     let optimal = ranked.first().expect("at least one path").clone();
-    Phase1Result { effort, optimal, ranked }
+    Phase1Result {
+        effort,
+        optimal,
+        ranked,
+    }
 }
 
 #[cfg(test)]
@@ -88,9 +106,11 @@ mod tests {
         let cka = deep_redundancy_cka(12);
         let result = select_optimal_path(6, &cka);
         let skipped = result.optimal.path.skipped();
-        let mean_skip: f32 =
-            skipped.iter().map(|&i| i as f32).sum::<f32>() / skipped.len() as f32;
-        assert!(mean_skip > 5.5, "skips {skipped:?} not biased deep (mean {mean_skip})");
+        let mean_skip: f32 = skipped.iter().map(|&i| i as f32).sum::<f32>() / skipped.len() as f32;
+        assert!(
+            mean_skip > 5.5,
+            "skips {skipped:?} not biased deep (mean {mean_skip})"
+        );
     }
 
     #[test]
@@ -117,5 +137,27 @@ mod tests {
         let result = select_optimal_path(0, &cka);
         assert_eq!(result.ranked.len(), 1);
         assert_eq!(result.optimal.path.effort(), 0);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical() {
+        let cka = deep_redundancy_cka(10);
+        let seq = select_optimal_path_with(5, &cka, Parallelism::Off);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(13),
+        ] {
+            let p = select_optimal_path_with(5, &cka, par);
+            assert_eq!(seq.ranked.len(), p.ranked.len());
+            for (a, b) in seq.ranked.iter().zip(&p.ranked) {
+                assert_eq!(a.path, b.path, "path order differs under {par:?}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "score differs under {par:?}"
+                );
+            }
+        }
     }
 }

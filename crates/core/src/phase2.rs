@@ -1,10 +1,13 @@
 //! Phase 2: hardware-in-the-loop search for the optimal effort combination
 //! (paper Fig. 2c).
 
+use crate::cache::CascadeCache;
+use crate::parallel::Parallelism;
 use crate::{CascadeStats, PathConfig};
 use pivot_data::Sample;
 use pivot_sim::{combine_efforts, CombinedPerf, Simulator, VitGeometry};
 use pivot_vit::VisionTransformer;
+use std::collections::HashMap;
 
 /// One effort with its Phase-1 optimal path and fine-tuned model.
 #[derive(Debug, Clone)]
@@ -35,7 +38,12 @@ pub struct Phase2Config {
 
 impl Default for Phase2Config {
     fn default() -> Self {
-        Self { lec: 0.7, delay_constraint_ms: 50.0, delay_tolerance: 0.05, threshold_step: 0.02 }
+        Self {
+            lec: 0.7,
+            delay_constraint_ms: 50.0,
+            delay_tolerance: 0.05,
+            threshold_step: 0.02,
+        }
     }
 }
 
@@ -68,6 +76,7 @@ pub struct Phase2Search<'a> {
     geometry: &'a VitGeometry,
     efforts: &'a [EffortModel],
     calibration: &'a [Sample],
+    parallelism: Parallelism,
 }
 
 impl<'a> Phase2Search<'a> {
@@ -89,7 +98,10 @@ impl<'a> Phase2Search<'a> {
         calibration: &'a [Sample],
     ) -> Self {
         assert!(efforts.len() >= 2, "need at least two efforts to combine");
-        assert!(!calibration.is_empty(), "calibration batch must be non-empty");
+        assert!(
+            !calibration.is_empty(),
+            "calibration batch must be non-empty"
+        );
         for e in efforts {
             assert_eq!(
                 e.path.depth(),
@@ -98,7 +110,25 @@ impl<'a> Phase2Search<'a> {
                 e.effort
             );
         }
-        Self { sim, geometry, efforts, calibration }
+        Self {
+            sim,
+            geometry,
+            efforts,
+            calibration,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// The parallelism used for calibration inference (default
+    /// [`Parallelism::Auto`]).
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Builder-style parallelism override.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Runs the search. Returns `None` when no combination meets the delay
@@ -127,10 +157,16 @@ impl<'a> Phase2Search<'a> {
             ))
         });
 
+        // Low-effort calibration logits are computed once per distinct low
+        // effort and reused across every pair sharing it.
+        let mut low_caches: HashMap<usize, CascadeCache> = HashMap::new();
         for (li, hi) in pairs {
             let low = &self.efforts[li];
             let high = &self.efforts[hi];
-            if let Some(result) = self.evaluate_pair(low, high, cfg, max_delay) {
+            let cache = low_caches.entry(li).or_insert_with(|| {
+                CascadeCache::build(&low.model, self.calibration, self.parallelism)
+            });
+            if let Some(result) = self.evaluate_pair_cached(low, high, cache, cfg, max_delay) {
                 return Some(result);
             }
         }
@@ -140,9 +176,9 @@ impl<'a> Phase2Search<'a> {
     /// Evaluates one effort pair: iterate `Th` until `F_L >= LEC`, then
     /// check the simulated delay against the constraint.
     ///
-    /// The low-effort logits are computed once per sample; the incremental
-    /// threshold iteration then runs on the cached entropies, and only the
-    /// escalated samples are re-inferred with the high effort.
+    /// Builds a fresh [`CascadeCache`] for the low effort; when probing
+    /// several pairs that share a low effort, build the cache once and use
+    /// [`Self::evaluate_pair_cached`] (as [`Self::run`] does internally).
     pub fn evaluate_pair(
         &self,
         low: &EffortModel,
@@ -150,44 +186,33 @@ impl<'a> Phase2Search<'a> {
         cfg: &Phase2Config,
         max_delay_ms: f64,
     ) -> Option<Phase2Result> {
-        use pivot_nn::normalized_entropy;
+        let cache = CascadeCache::build(&low.model, self.calibration, self.parallelism);
+        self.evaluate_pair_cached(low, high, &cache, cfg, max_delay_ms)
+    }
 
-        let low_logits: Vec<_> =
-            self.calibration.iter().map(|s| low.model.infer(&s.image)).collect();
-        let entropies: Vec<f32> = low_logits.iter().map(normalized_entropy).collect();
-        let n = self.calibration.len() as f64;
-
+    /// [`Self::evaluate_pair`] serving low-effort logits and entropies
+    /// from a pre-built cache: the incremental threshold iteration runs on
+    /// cached entropies in O(N) per step, and only the escalated samples
+    /// are re-inferred with the high effort (on the worker pool, reduced
+    /// in sample order for bit-identical statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was not built from this searcher's calibration
+    /// batch (length check).
+    pub fn evaluate_pair_cached(
+        &self,
+        low: &EffortModel,
+        high: &EffortModel,
+        cache: &CascadeCache,
+        cfg: &Phase2Config,
+        max_delay_ms: f64,
+    ) -> Option<Phase2Result> {
         // Step 2-3: incremental threshold iteration until F_L >= LEC.
-        let mut threshold = cfg.threshold_step;
-        loop {
-            let f_low =
-                entropies.iter().filter(|&&e| e < threshold).count() as f64 / n;
-            if f_low >= cfg.lec || threshold >= 1.0 {
-                break;
-            }
-            threshold += cfg.threshold_step;
-        }
-        let threshold = threshold.min(1.0);
+        let threshold = cache.threshold_reaching(cfg.lec, cfg.threshold_step);
 
         // Step 3-4: measure C_L/C_H/F_L/F_H and accuracy on the batch.
-        let mut stats = CascadeStats::default();
-        for (i, sample) in self.calibration.iter().enumerate() {
-            if entropies[i] < threshold {
-                stats.n_low += 1;
-                if low_logits[i].row_argmax(0) == sample.label {
-                    stats.c_low += 1;
-                } else {
-                    stats.i_low += 1;
-                }
-            } else {
-                stats.n_high += 1;
-                if high.model.infer(&sample.image).row_argmax(0) == sample.label {
-                    stats.c_high += 1;
-                } else {
-                    stats.i_high += 1;
-                }
-            }
-        }
+        let stats = cache.evaluate(&high.model, self.calibration, threshold, self.parallelism);
 
         // Step 5: hardware-in-the-loop delay of the combination.
         let perf_low = self.sim.simulate(self.geometry, &low.path.to_mask());
@@ -215,7 +240,10 @@ mod tests {
     use pivot_vit::{VisionTransformer, VitConfig};
 
     fn make_efforts(depth: usize, efforts: &[usize], seed: u64) -> Vec<EffortModel> {
-        let cfg = VitConfig { depth, ..VitConfig::test_small() };
+        let cfg = VitConfig {
+            depth,
+            ..VitConfig::test_small()
+        };
         let base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
         efforts
             .iter()
@@ -225,7 +253,12 @@ mod tests {
                 let path = PathConfig::new(depth, &active);
                 let mut model = base.clone();
                 model.set_active_attentions(path.active());
-                EffortModel { effort: e, path, score: e as f32, model }
+                EffortModel {
+                    effort: e,
+                    path,
+                    score: e as f32,
+                    model,
+                }
             })
             .collect()
     }
@@ -242,7 +275,10 @@ mod tests {
         let calib = calibration(1);
         let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
         let result = search
-            .run(&Phase2Config { delay_constraint_ms: 80.0, ..Default::default() })
+            .run(&Phase2Config {
+                delay_constraint_ms: 80.0,
+                ..Default::default()
+            })
             .expect("loose constraint must be satisfiable");
         // Largest pair is tried first and meets a loose constraint.
         assert_eq!((result.low_effort, result.high_effort), (9, 12));
@@ -258,10 +294,16 @@ mod tests {
         let calib = calibration(3);
         let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
         let loose = search
-            .run(&Phase2Config { delay_constraint_ms: 70.0, ..Default::default() })
+            .run(&Phase2Config {
+                delay_constraint_ms: 70.0,
+                ..Default::default()
+            })
             .expect("loose");
         let tight = search
-            .run(&Phase2Config { delay_constraint_ms: 45.0, ..Default::default() })
+            .run(&Phase2Config {
+                delay_constraint_ms: 45.0,
+                ..Default::default()
+            })
             .expect("tight");
         assert!(
             tight.low_effort + tight.high_effort <= loose.low_effort + loose.high_effort,
@@ -278,7 +320,10 @@ mod tests {
         let calib = calibration(5);
         let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
         assert!(search
-            .run(&Phase2Config { delay_constraint_ms: 1.0, ..Default::default() })
+            .run(&Phase2Config {
+                delay_constraint_ms: 1.0,
+                ..Default::default()
+            })
             .is_none());
     }
 
@@ -289,7 +334,11 @@ mod tests {
         let efforts = make_efforts(12, &[6, 12], 6);
         let calib = calibration(7);
         let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
-        let cfg = Phase2Config { lec: 0.8, delay_constraint_ms: 100.0, ..Default::default() };
+        let cfg = Phase2Config {
+            lec: 0.8,
+            delay_constraint_ms: 100.0,
+            ..Default::default()
+        };
         let result = search.run(&cfg).expect("satisfiable");
         assert!(
             result.stats.f_low() >= 0.8 - 1e-9 || result.threshold >= 1.0,
@@ -297,6 +346,55 @@ mod tests {
             result.stats.f_low(),
             result.threshold
         );
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[3, 6, 9, 12], 10);
+        let calib = calibration(11);
+        let cfg = Phase2Config {
+            delay_constraint_ms: 60.0,
+            ..Default::default()
+        };
+        let seq = Phase2Search::new(&sim, &geom, &efforts, &calib)
+            .with_parallelism(Parallelism::Off)
+            .run(&cfg)
+            .expect("satisfiable");
+        for par in [Parallelism::Auto, Parallelism::Fixed(4)] {
+            let p = Phase2Search::new(&sim, &geom, &efforts, &calib)
+                .with_parallelism(par)
+                .run(&cfg)
+                .expect("satisfiable");
+            assert_eq!(seq.low_effort, p.low_effort);
+            assert_eq!(seq.high_effort, p.high_effort);
+            assert_eq!(seq.threshold.to_bits(), p.threshold.to_bits());
+            assert_eq!(seq.stats, p.stats);
+            assert_eq!(seq.perf.delay_ms.to_bits(), p.perf.delay_ms.to_bits());
+            assert_eq!(seq.perf.energy_j().to_bits(), p.perf.energy_j().to_bits());
+        }
+    }
+
+    #[test]
+    fn evaluate_pair_reuses_cache_consistently() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        let efforts = make_efforts(12, &[3, 6, 12], 12);
+        let calib = calibration(13);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        let cfg = Phase2Config::default();
+        // One low-effort cache served to two different high efforts gives
+        // the same results as building per-pair caches.
+        let cache = crate::CascadeCache::build(&efforts[0].model, &calib, Parallelism::Off);
+        for high in &efforts[1..] {
+            let direct = search.evaluate_pair(&efforts[0], high, &cfg, f64::INFINITY);
+            let cached =
+                search.evaluate_pair_cached(&efforts[0], high, &cache, &cfg, f64::INFINITY);
+            let (d, c) = (direct.expect("feasible"), cached.expect("feasible"));
+            assert_eq!(d.stats, c.stats);
+            assert_eq!(d.threshold.to_bits(), c.threshold.to_bits());
+        }
     }
 
     #[test]

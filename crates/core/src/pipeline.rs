@@ -68,7 +68,11 @@ impl PipelineConfig {
         self.vit.validate();
         assert!(!self.efforts.is_empty(), "need at least one effort");
         for &e in &self.efforts {
-            assert!(e <= self.vit.depth, "effort {e} exceeds depth {}", self.vit.depth);
+            assert!(
+                e <= self.vit.depth,
+                "effort {e} exceeds depth {}",
+                self.vit.depth
+            );
         }
         assert!(self.cka_batch > 1, "CKA needs at least two samples");
     }
@@ -130,8 +134,7 @@ impl PivotPipeline {
         Trainer::new(cfg.teacher_train).train(&mut teacher, None, data);
 
         // 2. CKA matrix from the teacher on a calibration batch.
-        let batch: Vec<&Sample> =
-            data.train.iter().take(cfg.cka_batch).collect();
+        let batch: Vec<&Sample> = data.train.iter().take(cfg.cka_batch).collect();
         let cka = compute_cka_matrix(&teacher, &batch);
 
         // 3-4. Phase 1 per effort + fine-tuning with distillation and L_En.
@@ -155,7 +158,12 @@ impl PivotPipeline {
             phase1.push(result);
         }
 
-        PivotArtifacts { teacher, cka, phase1, efforts }
+        PivotArtifacts {
+            teacher,
+            cka,
+            phase1,
+            efforts,
+        }
     }
 }
 
@@ -172,7 +180,12 @@ pub fn compute_cka_matrix(model: &VisionTransformer, batch: &[&Sample]) -> CkaMa
     let mut attn_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(batch.len()); depth];
     for sample in batch {
         let trace = model.infer_traced(&sample.image);
-        for (i, (a, m)) in trace.attention_out.into_iter().zip(trace.mlp_out).enumerate() {
+        for (i, (a, m)) in trace
+            .attention_out
+            .into_iter()
+            .zip(trace.mlp_out)
+            .enumerate()
+        {
             attn_acts[i].push(a);
             mlp_acts[i].push(m);
         }
@@ -252,7 +265,11 @@ mod tests {
     fn cka_matrix_values_are_valid() {
         let data = small_data();
         let mut model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(0));
-        Trainer::new(TrainConfig { epochs: 2, ..Default::default() }).train(&mut model, None, &data);
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        })
+        .train(&mut model, None, &data);
         let batch: Vec<&Sample> = data.train.iter().take(24).collect();
         let cka = compute_cka_matrix(&model, &batch);
         for i in 0..4 {

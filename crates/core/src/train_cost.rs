@@ -21,7 +21,10 @@ pub struct TrainCostModel {
 
 impl Default for TrainCostModel {
     fn default() -> Self {
-        Self { scratch_epochs: 300.0, finetune_epochs: 30.0 }
+        Self {
+            scratch_epochs: 300.0,
+            finetune_epochs: 30.0,
+        }
     }
 }
 

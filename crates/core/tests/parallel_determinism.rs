@@ -1,0 +1,103 @@
+//! Property tests pinning the evaluation engine's determinism guarantee:
+//! for any thread count, sample set and threshold, parallel execution is
+//! bit-identical to sequential execution.
+
+use pivot_cka::CkaMatrix;
+use pivot_core::{select_optimal_path_with, CascadeCache, MultiEffortVit, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::{VisionTransformer, VitConfig};
+use proptest::prelude::*;
+
+fn cascade(seed: u64) -> MultiEffortVit {
+    let cfg = VitConfig::test_small();
+    let mut low = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+    low.set_active_attentions(&[0]);
+    let high = VisionTransformer::new(&cfg, &mut Rng::new(seed ^ 0xABCD));
+    MultiEffortVit::new(low, high, 0.5)
+}
+
+fn samples(n: usize, seed: u64) -> Vec<Sample> {
+    Dataset::generate_difficulty_stripes(
+        &DatasetConfig::small(),
+        &[0.15, 0.5, 0.85],
+        n.div_ceil(3),
+        seed,
+    )
+}
+
+fn random_cka(depth: usize, seed: u64) -> CkaMatrix {
+    let mut rng = Rng::new(seed);
+    let mut m = Matrix::zeros(depth, depth);
+    for i in 0..depth {
+        for j in (i + 1)..depth {
+            m[(i, j)] = rng.uniform(0.0, 1.0);
+        }
+    }
+    CkaMatrix::from_matrix(m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn evaluate_is_identical_for_any_thread_count(
+        seed in 0u64..1_000,
+        n in 4usize..20,
+        threads in 2usize..9,
+        th_tenths in 0usize..=10,
+    ) {
+        let threshold = th_tenths as f32 / 10.0;
+        let mut engine = cascade(seed);
+        engine.set_threshold(threshold);
+        let set = samples(n, seed.wrapping_add(17));
+        let seq = engine.evaluate_with(&set, Parallelism::Off);
+        let par = engine.evaluate_with(&set, Parallelism::Fixed(threads));
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cache_and_f_low_are_identical_for_any_thread_count(
+        seed in 0u64..1_000,
+        n in 4usize..20,
+        threads in 2usize..9,
+        th_tenths in 0usize..=10,
+    ) {
+        let threshold = th_tenths as f32 / 10.0;
+        let engine = cascade(seed.wrapping_add(31));
+        let set = samples(n, seed.wrapping_add(53));
+        let seq = CascadeCache::build(engine.low(), &set, Parallelism::Off);
+        let par = CascadeCache::build(engine.low(), &set, Parallelism::Fixed(threads));
+        prop_assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            prop_assert_eq!(seq.entropies()[i].to_bits(), par.entropies()[i].to_bits());
+            prop_assert_eq!(seq.low_prediction(i), par.low_prediction(i));
+            prop_assert!(seq.low_logits()[i].approx_eq(&par.low_logits()[i], 0.0));
+        }
+        prop_assert_eq!(seq.f_low_at(threshold), par.f_low_at(threshold));
+        prop_assert_eq!(seq.f_low_at(threshold), engine.f_low_at(&set, threshold));
+        let stats_seq =
+            seq.evaluate(engine.high(), &set, threshold, Parallelism::Off);
+        let stats_par =
+            par.evaluate(engine.high(), &set, threshold, Parallelism::Fixed(threads));
+        prop_assert_eq!(stats_seq, stats_par);
+    }
+
+    #[test]
+    fn path_enumeration_is_identical_for_any_thread_count(
+        depth in 4usize..10,
+        threads in 2usize..9,
+        seed in 0u64..1_000,
+    ) {
+        let effort = depth / 2;
+        let cka = random_cka(depth, seed);
+        let seq = select_optimal_path_with(effort, &cka, Parallelism::Off);
+        let par = select_optimal_path_with(effort, &cka, Parallelism::Fixed(threads));
+        prop_assert_eq!(seq.ranked.len(), par.ranked.len());
+        for (a, b) in seq.ranked.iter().zip(&par.ranked) {
+            prop_assert_eq!(a.path.clone(), b.path.clone());
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        prop_assert_eq!(seq.optimal.path.clone(), par.optimal.path.clone());
+    }
+}

@@ -71,7 +71,17 @@ struct Jitter {
 /// Renders the *clean* value of `kind` at normalized coordinates
 /// `(u, v) in [0,1]^2`, returning a value in `[0, 1]`.
 pub fn pattern(kind: PatternKind, u: f32, v: f32) -> f32 {
-    pattern_jittered(kind, u, v, Jitter { phase: 0.0, freq_scale: 1.0, shift_x: 0.0, shift_y: 0.0 })
+    pattern_jittered(
+        kind,
+        u,
+        v,
+        Jitter {
+            phase: 0.0,
+            freq_scale: 1.0,
+            shift_x: 0.0,
+            shift_y: 0.0,
+        },
+    )
 }
 
 fn pattern_jittered(kind: PatternKind, u: f32, v: f32, j: Jitter) -> f32 {
@@ -168,7 +178,10 @@ pub(crate) fn render(
 }
 
 fn kind_index(kind: PatternKind) -> usize {
-    PatternKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+    PatternKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
 }
 
 #[cfg(test)]
@@ -201,8 +214,10 @@ mod tests {
     #[test]
     fn families_are_mutually_distinct() {
         let mut rng = Rng::new(0);
-        let images: Vec<Matrix> =
-            PatternKind::ALL.iter().map(|&k| render(k, 16, 0.0, 10, &mut rng)).collect();
+        let images: Vec<Matrix> = PatternKind::ALL
+            .iter()
+            .map(|&k| render(k, 16, 0.0, 10, &mut rng))
+            .collect();
         for i in 0..images.len() {
             for j in (i + 1)..images.len() {
                 let dist = (&images[i] - &images[j]).frobenius_norm();
@@ -220,7 +235,13 @@ mod tests {
         for (i, d) in [0.25, 0.6, 0.95].iter().enumerate() {
             let mut dev = 0.0;
             for s in 0..8 {
-                let img = render(PatternKind::Checkerboard, 16, *d, 10, &mut Rng::new(100 + s));
+                let img = render(
+                    PatternKind::Checkerboard,
+                    16,
+                    *d,
+                    10,
+                    &mut Rng::new(100 + s),
+                );
                 dev += (&img - &clean).frobenius_norm();
             }
             assert!(dev > prev, "deviation not increasing at step {i}");

@@ -138,7 +138,11 @@ impl Dataset {
         }
         rng.shuffle(&mut train);
         rng.shuffle(&mut test);
-        Self { config: *config, train, test }
+        Self {
+            config: *config,
+            train,
+            test,
+        }
     }
 
     /// Generates an evaluation set where every sample has one of the given
@@ -175,13 +179,8 @@ impl Dataset {
         rng: &mut Rng,
     ) -> Sample {
         let (lo, hi) = config.difficulty;
-        let difficulty = forced_difficulty.unwrap_or_else(|| {
-            if lo < hi {
-                rng.uniform(lo, hi)
-            } else {
-                lo
-            }
-        });
+        let difficulty =
+            forced_difficulty.unwrap_or_else(|| if lo < hi { rng.uniform(lo, hi) } else { lo });
         let image = generator::render(
             PatternKind::from_index(label),
             config.image_size,
@@ -189,7 +188,11 @@ impl Dataset {
             config.classes,
             rng,
         );
-        Sample { image, label, difficulty }
+        Sample {
+            image,
+            label,
+            difficulty,
+        }
     }
 
     /// Iterator over shuffled mini-batches of training indices.
@@ -219,7 +222,11 @@ mod tests {
         let cfg = DatasetConfig::small();
         let a = Dataset::generate(&cfg, 1);
         let b = Dataset::generate(&cfg, 2);
-        assert!(a.train.iter().zip(&b.train).any(|(x, y)| x.image != y.image));
+        assert!(a
+            .train
+            .iter()
+            .zip(&b.train)
+            .any(|(x, y)| x.image != y.image));
     }
 
     #[test]
@@ -250,7 +257,11 @@ mod tests {
     /// whole entropy-cascade mechanism rests on.
     #[test]
     fn difficulty_knob_controls_separability() {
-        let cfg = DatasetConfig { classes: 4, image_size: 16, ..DatasetConfig::small() };
+        let cfg = DatasetConfig {
+            classes: 4,
+            image_size: 16,
+            ..DatasetConfig::small()
+        };
         let easy = Dataset::generate_difficulty_stripes(&cfg, &[0.05], 40, 5);
         let hard = Dataset::generate_difficulty_stripes(&cfg, &[0.95], 40, 6);
 
@@ -285,7 +296,10 @@ mod tests {
         let easy_acc = acc(&easy);
         let hard_acc = acc(&hard);
         assert!(easy_acc > 0.9, "easy accuracy {easy_acc} too low");
-        assert!(easy_acc - hard_acc > 0.1, "difficulty gap too small: {easy_acc} vs {hard_acc}");
+        assert!(
+            easy_acc - hard_acc > 0.1,
+            "difficulty gap too small: {easy_acc} vs {hard_acc}"
+        );
     }
 
     #[test]
@@ -293,13 +307,18 @@ mod tests {
         let cfg = DatasetConfig::small();
         let set = Dataset::generate_difficulty_stripes(&cfg, &[0.2, 0.8], 5, 9);
         assert_eq!(set.len(), 10);
-        assert!(set.iter().all(|s| s.difficulty == 0.2 || s.difficulty == 0.8));
+        assert!(set
+            .iter()
+            .all(|s| s.difficulty == 0.2 || s.difficulty == 0.8));
     }
 
     #[test]
     #[should_panic(expected = "classes must be in")]
     fn too_many_classes_panics() {
-        let cfg = DatasetConfig { classes: 99, ..DatasetConfig::small() };
+        let cfg = DatasetConfig {
+            classes: 99,
+            ..DatasetConfig::small()
+        };
         let _ = Dataset::generate(&cfg, 0);
     }
 }

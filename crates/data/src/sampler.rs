@@ -23,7 +23,11 @@ impl BatchIter {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
-        Self { order, batch_size, cursor: 0 }
+        Self {
+            order,
+            batch_size,
+            cursor: 0,
+        }
     }
 }
 

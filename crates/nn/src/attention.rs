@@ -48,7 +48,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, quant: QuantMode, rng: &mut Rng) -> Self {
-        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} must divide into {heads} heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} must divide into {heads} heads"
+        );
         Self {
             wq: Linear::new(dim, dim, quant, rng),
             wk: Linear::new(dim, dim, quant, rng),
@@ -121,8 +124,7 @@ impl MultiHeadAttention {
                 let row = scores.row(r).to_vec();
                 let mut order: Vec<usize> = (0..t).collect();
                 order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite scores"));
-                let kept: std::collections::HashSet<usize> =
-                    order.into_iter().take(keep).collect();
+                let kept: std::collections::HashSet<usize> = order.into_iter().take(keep).collect();
                 for (c, val) in scores.row_mut(r).iter_mut().enumerate() {
                     if !kept.contains(&c) {
                         *val = f32::NEG_INFINITY;
@@ -334,7 +336,11 @@ mod tests {
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= h;
             let fd = (loss(&attn, &xp) - loss(&attn, &xm)) / (2.0 * h);
-            assert!((dx.as_slice()[i] - fd).abs() < 2e-2, "dx[{i}]: {} vs {fd}", dx.as_slice()[i]);
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 2e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.as_slice()[i]
+            );
         }
     }
 

@@ -45,7 +45,13 @@ pub struct EncoderBlock {
 
 impl EncoderBlock {
     /// Creates an encoder block (attention active by default).
-    pub fn new(dim: usize, heads: usize, mlp_hidden: usize, quant: QuantMode, rng: &mut Rng) -> Self {
+    pub fn new(
+        dim: usize,
+        heads: usize,
+        mlp_hidden: usize,
+        quant: QuantMode,
+        rng: &mut Rng,
+    ) -> Self {
         Self {
             ln1: LayerNorm::new(dim),
             attn: MultiHeadAttention::new(dim, heads, quant, rng),
@@ -87,7 +93,10 @@ impl EncoderBlock {
         };
         let mut out = self.mlp.infer(&self.ln2.infer(&after_attn));
         out.add_scaled_in_place(&after_attn, 1.0);
-        EncoderTrace { attention_out: after_attn, mlp_out: out }
+        EncoderTrace {
+            attention_out: after_attn,
+            mlp_out: out,
+        }
     }
 
     /// Inference-only forward without caching.

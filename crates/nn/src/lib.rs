@@ -32,7 +32,8 @@ pub use attention::MultiHeadAttention;
 pub use encoder::{EncoderBlock, EncoderTrace};
 pub use linear::{Linear, QuantMode};
 pub use losses::{
-    cross_entropy, distillation_mse, entropy_regularizer, normalized_entropy, LossValue,
+    cross_entropy, distillation_mse, entropy_regularizer, normalized_entropies, normalized_entropy,
+    LossValue,
 };
 pub use mlp::Mlp;
 pub use norm::LayerNorm;

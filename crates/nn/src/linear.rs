@@ -97,7 +97,8 @@ impl Linear {
 
     /// Inference-only forward that does not touch the backward cache.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.effective_weight()).add_row_broadcast(self.bias.value.row(0))
+        x.matmul(&self.effective_weight())
+            .add_row_broadcast(self.bias.value.row(0))
     }
 }
 
@@ -188,7 +189,10 @@ mod tests {
             lin.params_mut()[0].value = wm;
             let lm = loss(&lin.infer(&x));
             let fd = (lp - lm) / (2.0 * h);
-            assert!((analytic.as_slice()[i] - fd).abs() < 1e-2, "weight grad {i}");
+            assert!(
+                (analytic.as_slice()[i] - fd).abs() < 1e-2,
+                "weight grad {i}"
+            );
         }
         lin.params_mut()[0].value = w0;
 

@@ -39,7 +39,11 @@ pub struct LossValue {
 /// ```
 pub fn cross_entropy(logits: &Matrix, label: usize) -> LossValue {
     assert_eq!(logits.rows(), 1, "cross_entropy expects one logit row");
-    assert!(label < logits.cols(), "label {label} out of {} classes", logits.cols());
+    assert!(
+        label < logits.cols(),
+        "label {label} out of {} classes",
+        logits.cols()
+    );
     let log_probs = log_softmax_row(logits.row(0));
     let loss = -log_probs[label];
     let probs = softmax_row(logits.row(0));
@@ -55,7 +59,11 @@ pub fn cross_entropy(logits: &Matrix, label: usize) -> LossValue {
 ///
 /// Panics if shapes differ.
 pub fn distillation_mse(student: &Matrix, teacher: &Matrix) -> LossValue {
-    assert_eq!(student.shape(), teacher.shape(), "distillation shape mismatch");
+    assert_eq!(
+        student.shape(),
+        teacher.shape(),
+        "distillation shape mismatch"
+    );
     let diff = student - teacher;
     let n = diff.len().max(1) as f32;
     let loss = diff.as_slice().iter().map(|&d| d * d).sum::<f32>() / n;
@@ -85,6 +93,21 @@ pub fn normalized_entropy(logits: &Matrix) -> f32 {
     raw / (k as f32).ln()
 }
 
+/// Normalized entropies of a batch of cached logit rows.
+///
+/// This is the batched entropy API `pivot-core`'s `CascadeCache` evaluates
+/// over logits it computed once per sample set: entropies for every sample
+/// in input order, each exactly [`normalized_entropy`] of the
+/// corresponding row.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`normalized_entropy`] on any
+/// element.
+pub fn normalized_entropies(logits: &[Matrix]) -> Vec<f32> {
+    logits.iter().map(normalized_entropy).collect()
+}
+
 /// The entropy regularizer `L_En` and its gradient with respect to the
 /// logits.
 ///
@@ -98,7 +121,10 @@ pub fn entropy_regularizer(logits: &Matrix) -> LossValue {
     let k = logits.cols();
     let loss = normalized_entropy(logits);
     let probs = softmax_row(logits.row(0));
-    let s: f32 = probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum();
+    let s: f32 = probs
+        .iter()
+        .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+        .sum();
     let log_k = (k as f32).ln();
     let grad_vals: Vec<f32> = probs
         .iter()
@@ -110,7 +136,10 @@ pub fn entropy_regularizer(logits: &Matrix) -> LossValue {
             }
         })
         .collect();
-    LossValue { loss, grad: Matrix::row_vector(&grad_vals) }
+    LossValue {
+        loss,
+        grad: Matrix::row_vector(&grad_vals),
+    }
 }
 
 #[cfg(test)]

@@ -62,7 +62,10 @@ impl Layer for Mlp {
 
     fn backward(&mut self, d_out: &Matrix) -> Matrix {
         let d_act = self.fc2.backward(d_out);
-        let pre = self.cache_pre_act.as_ref().expect("backward before forward");
+        let pre = self
+            .cache_pre_act
+            .as_ref()
+            .expect("backward before forward");
         let d_pre = d_act.zip_map(pre, |g, x| g * gelu_derivative(x));
         self.fc1.backward(&d_pre)
     }

@@ -91,11 +91,13 @@ impl Layer for LayerNorm {
             let xh = cache.x_hat.row(r);
             let inv_std = cache.inv_std[r];
             // d_xhat = dy * gamma
-            let d_xhat: Vec<f32> =
-                dy.iter().enumerate().map(|(c, &g)| g * self.gamma.value[(0, c)]).collect();
+            let d_xhat: Vec<f32> = dy
+                .iter()
+                .enumerate()
+                .map(|(c, &g)| g * self.gamma.value[(0, c)])
+                .collect();
             let mean_dxhat = d_xhat.iter().sum::<f32>() / n;
-            let mean_dxhat_xhat =
-                d_xhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / n;
+            let mean_dxhat_xhat = d_xhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / n;
             for c in 0..d_out.cols() {
                 dx[(r, c)] = (d_xhat[c] - mean_dxhat - xh[c] * mean_dxhat_xhat) * inv_std;
                 d_gamma[(0, c)] += dy[c] * xh[c];
@@ -158,7 +160,11 @@ mod tests {
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= h;
             let fd = (loss(&ln, &xp) - loss(&ln, &xm)) / (2.0 * h);
-            assert!((dx.as_slice()[i] - fd).abs() < 2e-2, "dx[{i}]: {} vs {fd}", dx.as_slice()[i]);
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 2e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.as_slice()[i]
+            );
         }
 
         for (pi, name) in [(0usize, "gamma"), (1usize, "beta")] {

@@ -25,7 +25,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -54,7 +60,12 @@ pub struct Adam {
 impl Adam {
     /// Creates an optimizer with the given configuration.
     pub fn new(config: AdamConfig) -> Self {
-        Self { config, step: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            config,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -80,16 +91,27 @@ impl Adam {
     /// Panics if the number or shapes of parameters change between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
             self.v = self.m.clone();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter count changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter count changed between steps"
+        );
         self.step += 1;
         let c = self.config;
         let bc1 = 1.0 - c.beta1.powi(self.step as i32);
         let bc2 = 1.0 - c.beta2.powi(self.step as i32);
         for (i, p) in params.iter_mut().enumerate() {
-            assert_eq!(self.m[i].shape(), p.value.shape(), "parameter {i} shape changed");
+            assert_eq!(
+                self.m[i].shape(),
+                p.value.shape(),
+                "parameter {i} shape changed"
+            );
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             for j in 0..p.value.len() {
@@ -122,7 +144,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update and clears the gradients.
@@ -132,10 +158,16 @@ impl Sgd {
     /// Panics if the number of parameters changes between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter count changed between steps");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter count changed between steps"
+        );
         for (i, p) in params.iter_mut().enumerate() {
             let vel = &mut self.velocity[i];
             vel.scale_in_place(self.momentum);
@@ -154,7 +186,10 @@ mod tests {
     #[test]
     fn adam_converges_on_quadratic() {
         let mut p = Param::new(Matrix::filled(1, 1, 0.0));
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
         for _ in 0..300 {
             let x = p.value[(0, 0)];
             p.grad = Matrix::filled(1, 1, 2.0 * (x - 3.0));
@@ -186,8 +221,11 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_weights_without_gradient() {
         let mut p = Param::new(Matrix::filled(1, 1, 1.0));
-        let mut adam =
-            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..Default::default()
+        });
         for _ in 0..50 {
             p.grad = Matrix::zeros(1, 1);
             adam.step(&mut [&mut p]);

@@ -38,9 +38,14 @@ impl CombinedPerf {
         self.energy.total_j()
     }
 
-    /// Average power (W).
+    /// Average power (W). 0.0 for a degenerate zero-delay combination
+    /// (rather than a division by zero producing `inf`/`NaN`).
     pub fn power_w(&self) -> f64 {
-        self.energy_j() / (self.delay_ms / 1e3)
+        if self.delay_ms == 0.0 {
+            0.0
+        } else {
+            self.energy_j() / (self.delay_ms / 1e3)
+        }
     }
 
     /// Energy-delay product (J*ms).
@@ -48,14 +53,25 @@ impl CombinedPerf {
         self.energy_j() * self.delay_ms
     }
 
-    /// Throughput (frames per second).
+    /// Throughput (frames per second). 0.0 for a degenerate zero-delay
+    /// combination (no work was simulated, so no frames are produced).
     pub fn fps(&self) -> f64 {
-        1e3 / self.delay_ms
+        if self.delay_ms == 0.0 {
+            0.0
+        } else {
+            1e3 / self.delay_ms
+        }
     }
 
-    /// Energy efficiency (FPS/W).
+    /// Energy efficiency (FPS/W). 0.0 when power is zero (degenerate
+    /// combination), keeping every derived metric NaN-free.
     pub fn fps_per_w(&self) -> f64 {
-        self.fps() / self.power_w()
+        let power = self.power_w();
+        if power == 0.0 {
+            0.0
+        } else {
+            self.fps() / power
+        }
     }
 
     /// Delay attributable to useful low-effort inference: `F_L * D_L` (ms).
@@ -93,7 +109,10 @@ impl CombinedPerf {
 ///
 /// Panics if `f_low` is outside `[0, 1]`.
 pub fn combine_efforts(low: &EffortPerf, high: &EffortPerf, f_low: f64) -> CombinedPerf {
-    assert!((0.0..=1.0).contains(&f_low), "F_L must be in [0, 1], got {f_low}");
+    assert!(
+        (0.0..=1.0).contains(&f_low),
+        "F_L must be in [0, 1], got {f_low}"
+    );
     let f_high = 1.0 - f_low;
     let delay_ms = low.delay_ms + f_high * high.delay_ms;
 
@@ -103,7 +122,14 @@ pub fn combine_efforts(low: &EffortPerf, high: &EffortPerf, f_low: f64) -> Combi
     let mut breakdown = low.breakdown.clone();
     breakdown.accumulate(&high.breakdown.scaled(f_high));
 
-    CombinedPerf { low: low.clone(), high: high.clone(), f_low, delay_ms, energy, breakdown }
+    CombinedPerf {
+        low: low.clone(),
+        high: high.clone(),
+        f_low,
+        delay_ms,
+        energy,
+        breakdown,
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +142,10 @@ mod tests {
         let geom = VitGeometry::deit_s();
         let low_mask: Vec<bool> = (0..12).map(|i| i < 6).collect();
         let high_mask: Vec<bool> = (0..12).map(|i| i < 9).collect();
-        (sim.simulate(&geom, &low_mask), sim.simulate(&geom, &high_mask))
+        (
+            sim.simulate(&geom, &low_mask),
+            sim.simulate(&geom, &high_mask),
+        )
     }
 
     #[test]
@@ -162,7 +191,10 @@ mod tests {
         let baseline = sim.simulate(&geom, &[true; 12]);
         let (low, high) = perfs();
         let c = combine_efforts(&low, &high, 0.8);
-        assert!(c.delay_ms < baseline.delay_ms, "cascade must beat baseline at F_L=0.8");
+        assert!(
+            c.delay_ms < baseline.delay_ms,
+            "cascade must beat baseline at F_L=0.8"
+        );
         assert!(c.edp() < baseline.edp());
     }
 
@@ -171,6 +203,31 @@ mod tests {
     fn invalid_fraction_panics() {
         let (low, high) = perfs();
         let _ = combine_efforts(&low, &high, 1.5);
+    }
+
+    #[test]
+    fn zero_delay_combination_is_nan_free() {
+        // Regression: power_w and fps divided by zero when delay_ms == 0,
+        // yielding inf/NaN that poisoned downstream reports.
+        let (low, high) = perfs();
+        let mut c = combine_efforts(&low, &high, 0.5);
+        c.delay_ms = 0.0;
+        assert_eq!(c.power_w(), 0.0);
+        assert_eq!(c.fps(), 0.0);
+        assert_eq!(c.fps_per_w(), 0.0);
+        assert_eq!(c.edp(), 0.0);
+        for v in [c.power_w(), c.fps(), c.fps_per_w(), c.edp()] {
+            assert!(v.is_finite(), "metric {v} not finite");
+        }
+    }
+
+    #[test]
+    fn nonzero_delay_metrics_unchanged() {
+        let (low, high) = perfs();
+        let c = combine_efforts(&low, &high, 0.5);
+        assert!((c.power_w() - c.energy_j() / (c.delay_ms / 1e3)).abs() < 1e-12);
+        assert!((c.fps() - 1e3 / c.delay_ms).abs() < 1e-9);
+        assert!((c.fps_per_w() - c.fps() / c.power_w()).abs() < 1e-9);
     }
 }
 

@@ -69,23 +69,31 @@ pub fn simulate_fold_cycles(rows: usize, cols: usize, stream: usize) -> u64 {
         match phase {
             Phase::Fill { remaining } => {
                 phase = if remaining > 1 {
-                    Phase::Fill { remaining: remaining - 1 }
+                    Phase::Fill {
+                        remaining: remaining - 1,
+                    }
                 } else {
                     Phase::Stream { remaining: stream }
                 };
             }
             Phase::Stream { remaining } => {
                 phase = if remaining > 1 {
-                    Phase::Stream { remaining: remaining - 1 }
+                    Phase::Stream {
+                        remaining: remaining - 1,
+                    }
                 } else if cols > 1 {
-                    Phase::Drain { remaining: cols - 1 }
+                    Phase::Drain {
+                        remaining: cols - 1,
+                    }
                 } else {
                     Phase::Done
                 };
             }
             Phase::Drain { remaining } => {
                 phase = if remaining > 1 {
-                    Phase::Drain { remaining: remaining - 1 }
+                    Phase::Drain {
+                        remaining: remaining - 1,
+                    }
                 } else {
                     Phase::Done
                 };
@@ -104,7 +112,13 @@ mod tests {
 
     #[test]
     fn closed_form_matches_stepper() {
-        for (r, c, s) in [(64, 36, 197), (8, 8, 1), (64, 36, 1536), (2, 2, 5), (1, 1, 1)] {
+        for (r, c, s) in [
+            (64, 36, 197),
+            (8, 8, 1),
+            (64, 36, 1536),
+            (2, 2, 5),
+            (1, 1, 1),
+        ] {
             let formula = Dataflow::InputStationary.fold_cycles(r, c, s);
             let stepped = simulate_fold_cycles(r, c, s);
             assert_eq!(formula, stepped, "mismatch at ({r},{c},{s})");

@@ -74,7 +74,10 @@ mod tests {
         // Section 3.4: entropy for one ImageNet image (K=1000) takes 0.03 ms.
         let ps = PsConfig::default();
         let ms = ps.delay_ms(PsOpKind::Entropy, 1000);
-        assert!((ms - 0.03).abs() < 0.005, "entropy {ms} ms, expected ~0.03 ms");
+        assert!(
+            (ms - 0.03).abs() < 0.005,
+            "entropy {ms} ms, expected ~0.03 ms"
+        );
     }
 
     #[test]

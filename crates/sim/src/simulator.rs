@@ -74,11 +74,22 @@ impl AcceleratorConfig {
     ///
     /// Panics on zero-sized extents or non-positive clocks.
     pub fn validate(&self) {
-        assert!(self.pe_rows > 0 && self.pe_cols > 0, "PE array must be non-empty");
-        assert!(self.clock_mhz > 0.0 && self.ps.clock_mhz > 0.0, "clocks must be positive");
-        assert!(self.dram_bytes_per_cycle > 0, "DRAM bandwidth must be positive");
         assert!(
-            self.gb_bytes > 0 && self.ipmem_bytes > 0 && self.wtmem_bytes > 0
+            self.pe_rows > 0 && self.pe_cols > 0,
+            "PE array must be non-empty"
+        );
+        assert!(
+            self.clock_mhz > 0.0 && self.ps.clock_mhz > 0.0,
+            "clocks must be positive"
+        );
+        assert!(
+            self.dram_bytes_per_cycle > 0,
+            "DRAM bandwidth must be positive"
+        );
+        assert!(
+            self.gb_bytes > 0
+                && self.ipmem_bytes > 0
+                && self.wtmem_bytes > 0
                 && self.opmem_bytes > 0,
             "SRAM sizes must be positive"
         );
@@ -183,7 +194,10 @@ impl Simulator {
                 }
             }
         }
-        (self.simulate_workload(geom, active_attention, &workload), layers)
+        (
+            self.simulate_workload(geom, active_attention, &workload),
+            layers,
+        )
     }
 
     /// Simulates a prebuilt workload (exposed for custom layer graphs).
@@ -465,7 +479,10 @@ mod detailed_tests {
         let sim = Simulator::new(AcceleratorConfig::zcu102());
         let geom = VitGeometry::deit_s();
         let (_, layers) = sim.simulate_detailed(&geom, &[true; 12]);
-        let softmax = layers.iter().find(|l| l.module == ModuleClass::Softmax).expect("softmax");
+        let softmax = layers
+            .iter()
+            .find(|l| l.module == ModuleClass::Softmax)
+            .expect("softmax");
         assert!(softmax.on_ps);
         assert_eq!(softmax.macs, 0);
         let qkv = layers.iter().find(|l| l.name == "enc0.qkv").expect("qkv");

@@ -35,7 +35,10 @@ impl MatmulDims {
     ///
     /// Panics if any extent is zero.
     pub fn new(m: usize, k: usize, n: usize) -> Self {
-        assert!(m > 0 && k > 0 && n > 0, "matmul dims must be positive: {m}x{k}x{n}");
+        assert!(
+            m > 0 && k > 0 && n > 0,
+            "matmul dims must be positive: {m}x{k}x{n}"
+        );
         Self { m, k, n }
     }
 
@@ -166,7 +169,11 @@ mod tests {
 
     #[test]
     fn single_pe_tile_is_exact() {
-        let accel = AcceleratorConfig { pe_rows: 1, pe_cols: 1, ..zcu102() };
+        let accel = AcceleratorConfig {
+            pe_rows: 1,
+            pe_cols: 1,
+            ..zcu102()
+        };
         // 1x1 array: every MAC is one fold element; folds = K*M, stream N.
         let stats = matmul_cycles(MatmulDims::new(2, 3, 4), &accel);
         assert_eq!(stats.folds, 6);
@@ -204,11 +211,17 @@ mod tests {
         let is = matmul_cycles(dims, &zcu102());
         let ws = matmul_cycles(
             dims,
-            &AcceleratorConfig { dataflow: Dataflow::WeightStationary, ..zcu102() },
+            &AcceleratorConfig {
+                dataflow: Dataflow::WeightStationary,
+                ..zcu102()
+            },
         );
         let os = matmul_cycles(
             dims,
-            &AcceleratorConfig { dataflow: Dataflow::OutputStationary, ..zcu102() },
+            &AcceleratorConfig {
+                dataflow: Dataflow::OutputStationary,
+                ..zcu102()
+            },
         );
         // All three are valid mappings of the same work.
         assert_eq!(is.macs, ws.macs);
@@ -219,7 +232,10 @@ mod tests {
 
     #[test]
     fn latency_is_max_of_compute_and_memory() {
-        let starved = AcceleratorConfig { dram_bytes_per_cycle: 1, ..zcu102() };
+        let starved = AcceleratorConfig {
+            dram_bytes_per_cycle: 1,
+            ..zcu102()
+        };
         let stats = matmul_cycles(MatmulDims::new(197, 384, 384), &starved);
         assert_eq!(stats.total_cycles, stats.dram_cycles);
         assert!(stats.dram_cycles > stats.compute_cycles);

@@ -149,7 +149,10 @@ impl VitWorkload {
         ops.push(LayerOp {
             name: "patch_embed".to_string(),
             module: ModuleClass::Embed,
-            kind: OpKind::Mac { dims: MatmulDims::new(t - 1, geom.patch_dim, d), count: 1 },
+            kind: OpKind::Mac {
+                dims: MatmulDims::new(t - 1, geom.patch_dim, d),
+                count: 1,
+            },
         });
 
         for (i, &active) in active_attention.iter().enumerate() {
@@ -157,70 +160,109 @@ impl VitWorkload {
                 ops.push(LayerOp {
                     name: format!("enc{i}.ln1"),
                     module: ModuleClass::Norm,
-                    kind: OpKind::Ps { kind: PsOpKind::LayerNorm, elements: (t * d) as u64 },
+                    kind: OpKind::Ps {
+                        kind: PsOpKind::LayerNorm,
+                        elements: (t * d) as u64,
+                    },
                 });
                 ops.push(LayerOp {
                     name: format!("enc{i}.qkv"),
                     module: ModuleClass::AttentionMac,
-                    kind: OpKind::Mac { dims: MatmulDims::new(t, d, 3 * d), count: 1 },
+                    kind: OpKind::Mac {
+                        dims: MatmulDims::new(t, d, 3 * d),
+                        count: 1,
+                    },
                 });
                 ops.push(LayerOp {
                     name: format!("enc{i}.qkt"),
                     module: ModuleClass::AttentionMac,
-                    kind: OpKind::Mac { dims: MatmulDims::new(t, dh, t), count: h },
+                    kind: OpKind::Mac {
+                        dims: MatmulDims::new(t, dh, t),
+                        count: h,
+                    },
                 });
                 ops.push(LayerOp {
                     name: format!("enc{i}.softmax"),
                     module: ModuleClass::Softmax,
-                    kind: OpKind::Ps { kind: PsOpKind::Softmax, elements: (h * t * t) as u64 },
+                    kind: OpKind::Ps {
+                        kind: PsOpKind::Softmax,
+                        elements: (h * t * t) as u64,
+                    },
                 });
                 ops.push(LayerOp {
                     name: format!("enc{i}.smv"),
                     module: ModuleClass::AttentionMac,
-                    kind: OpKind::Mac { dims: MatmulDims::new(t, t, dh), count: h },
+                    kind: OpKind::Mac {
+                        dims: MatmulDims::new(t, t, dh),
+                        count: h,
+                    },
                 });
                 ops.push(LayerOp {
                     name: format!("enc{i}.proj"),
                     module: ModuleClass::AttentionMac,
-                    kind: OpKind::Mac { dims: MatmulDims::new(t, d, d), count: 1 },
+                    kind: OpKind::Mac {
+                        dims: MatmulDims::new(t, d, d),
+                        count: 1,
+                    },
                 });
             }
             ops.push(LayerOp {
                 name: format!("enc{i}.ln2"),
                 module: ModuleClass::Norm,
-                kind: OpKind::Ps { kind: PsOpKind::LayerNorm, elements: (t * d) as u64 },
+                kind: OpKind::Ps {
+                    kind: PsOpKind::LayerNorm,
+                    elements: (t * d) as u64,
+                },
             });
             ops.push(LayerOp {
                 name: format!("enc{i}.mlp_fc1"),
                 module: ModuleClass::Mlp,
-                kind: OpKind::Mac { dims: MatmulDims::new(t, d, geom.mlp_hidden), count: 1 },
+                kind: OpKind::Mac {
+                    dims: MatmulDims::new(t, d, geom.mlp_hidden),
+                    count: 1,
+                },
             });
             ops.push(LayerOp {
                 name: format!("enc{i}.gelu"),
                 module: ModuleClass::Mlp,
-                kind: OpKind::Ps { kind: PsOpKind::Gelu, elements: (t * geom.mlp_hidden) as u64 },
+                kind: OpKind::Ps {
+                    kind: PsOpKind::Gelu,
+                    elements: (t * geom.mlp_hidden) as u64,
+                },
             });
             ops.push(LayerOp {
                 name: format!("enc{i}.mlp_fc2"),
                 module: ModuleClass::Mlp,
-                kind: OpKind::Mac { dims: MatmulDims::new(t, geom.mlp_hidden, d), count: 1 },
+                kind: OpKind::Mac {
+                    dims: MatmulDims::new(t, geom.mlp_hidden, d),
+                    count: 1,
+                },
             });
         }
 
         ops.push(LayerOp {
             name: "final_norm".to_string(),
             module: ModuleClass::Norm,
-            kind: OpKind::Ps { kind: PsOpKind::LayerNorm, elements: (t * d) as u64 },
+            kind: OpKind::Ps {
+                kind: PsOpKind::LayerNorm,
+                elements: (t * d) as u64,
+            },
         });
         ops.push(LayerOp {
             name: "head".to_string(),
             module: ModuleClass::Head,
-            kind: OpKind::Mac { dims: MatmulDims::new(1, d, geom.num_classes), count: 1 },
+            kind: OpKind::Mac {
+                dims: MatmulDims::new(1, d, geom.num_classes),
+                count: 1,
+            },
         });
         ops.push(LayerOp {
             name: "entropy".to_string(),
             module: ModuleClass::Entropy,
-            kind: OpKind::Ps { kind: PsOpKind::Entropy, elements: geom.num_classes as u64 },
+            kind: OpKind::Ps {
+                kind: PsOpKind::Entropy,
+                elements: geom.num_classes as u64,
+            },
         });
 
         Self { ops }
@@ -262,8 +304,11 @@ mod tests {
         assert!(skipped.ops.len() < full.ops.len());
         assert!(skipped.total_macs() < full.total_macs());
         // No softmax op from skipped encoders.
-        let softmaxes =
-            skipped.ops.iter().filter(|o| o.module == ModuleClass::Softmax).count();
+        let softmaxes = skipped
+            .ops
+            .iter()
+            .filter(|o| o.module == ModuleClass::Softmax)
+            .count();
         assert_eq!(softmaxes, 6);
     }
 
@@ -273,7 +318,11 @@ mod tests {
         let wl = VitWorkload::build(&geom, &[false; 12]);
         assert!(wl.ops.iter().all(|o| o.module != ModuleClass::AttentionMac));
         assert!(wl.ops.iter().all(|o| o.module != ModuleClass::Softmax));
-        let mlp_macs = wl.ops.iter().filter(|o| o.module == ModuleClass::Mlp).count();
+        let mlp_macs = wl
+            .ops
+            .iter()
+            .filter(|o| o.module == ModuleClass::Mlp)
+            .count();
         assert_eq!(mlp_macs, 12 * 3);
     }
 

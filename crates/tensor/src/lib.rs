@@ -29,9 +29,7 @@ mod quant;
 mod rng;
 
 pub use matrix::Matrix;
-pub use ops::{
-    erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place,
-};
+pub use ops::{erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place};
 pub use quant::{QuantParams, Quantized};
 pub use rng::Rng;
 

@@ -30,12 +30,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a square identity matrix of size `n`.
@@ -68,10 +76,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "row {i} has length {} expected {cols}", row.len());
+            assert_eq!(
+                row.len(),
+                cols,
+                "row {i} has length {} expected {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix that takes ownership of a row-major buffer.
@@ -80,13 +97,22 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
     /// Creates a single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a matrix with entries drawn i.i.d. from `N(0, std^2)`.
@@ -195,7 +221,8 @@ impl Matrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -225,7 +252,8 @@ impl Matrix {
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.cols,
+            self.cols,
+            rhs.cols,
             "matmul_transpose_b shape mismatch: {:?} x {:?}^T",
             self.shape(),
             rhs.shape()
@@ -253,7 +281,8 @@ impl Matrix {
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "matmul_transpose_a shape mismatch: {:?}^T x {:?}",
             self.shape(),
             rhs.shape()
@@ -301,7 +330,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -409,8 +443,11 @@ impl Matrix {
         if self.rows == 0 {
             return self.clone();
         }
-        let means: Vec<f32> =
-            self.col_sums().into_iter().map(|s| s / self.rows as f32).collect();
+        let means: Vec<f32> = self
+            .col_sums()
+            .into_iter()
+            .map(|s| s / self.rows as f32)
+            .collect();
         let mut out = self.clone();
         for r in 0..out.rows {
             for (o, &m) in out.row_mut(r).iter_mut().zip(&means) {
@@ -426,7 +463,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows range out of bounds");
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows range out of bounds"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -440,7 +480,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "slice_cols range out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols range out of bounds"
+        );
         Matrix::from_fn(self.rows, end - start, |r, c| self[(r, start + c)])
     }
 
@@ -469,7 +512,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vcat col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// True when every pairwise element difference is at most `tol`.
@@ -477,7 +524,11 @@ impl Matrix {
     /// Shapes must match for the result to be `true`.
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 
@@ -485,14 +536,22 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {:?}", self.shape());
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {:?}",
+            self.shape()
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {:?}", self.shape());
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {:?}",
+            self.shape()
+        );
         &mut self.data[r * self.cols + c]
     }
 }

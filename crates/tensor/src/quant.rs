@@ -37,7 +37,10 @@ impl QuantParams {
     ///
     /// Panics if `scale` is not finite and positive.
     pub fn new(scale: f32, zero_point: i32) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
         Self { scale, zero_point }
     }
 
@@ -67,7 +70,10 @@ impl QuantParams {
     /// Fits symmetric 8-bit parameters (zero point 0), typical for weights.
     pub fn fit_symmetric(m: &Matrix) -> Self {
         let scale = (m.max_abs() / 127.0).max(Self::MIN_SCALE);
-        Self { scale, zero_point: 0 }
+        Self {
+            scale,
+            zero_point: 0,
+        }
     }
 
     /// The quantization step size.
@@ -155,7 +161,10 @@ impl Quantized {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.values.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.values
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
         )
     }
 }
@@ -173,7 +182,11 @@ mod tests {
         let qp = QuantParams::fit(&m);
         let rt = qp.fake_quant_matrix(&m);
         let max_err = (&m - &rt).max_abs();
-        assert!(max_err <= qp.scale() * 0.5 + 1e-6, "err {max_err} > step/2 {}", qp.scale());
+        assert!(
+            max_err <= qp.scale() * 0.5 + 1e-6,
+            "err {max_err} > step/2 {}",
+            qp.scale()
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl VitConfig {
     /// Trainable tiny stand-in for LVViT-S: depth 16, otherwise like
     /// [`VitConfig::tiny`].
     pub fn tiny_deep() -> Self {
-        Self { name: "Tiny-LVViT".to_string(), depth: 16, ..Self::tiny() }
+        Self {
+            name: "Tiny-LVViT".to_string(),
+            depth: 16,
+            ..Self::tiny()
+        }
     }
 
     /// An even smaller configuration for fast unit tests.
@@ -134,9 +138,16 @@ impl VitConfig {
     /// Panics if the image is not divisible into patches, `dim` is not
     /// divisible by `heads`, or any extent is zero.
     pub fn validate(&self) {
-        assert!(self.depth > 0 && self.dim > 0 && self.heads > 0, "zero-sized config");
+        assert!(
+            self.depth > 0 && self.dim > 0 && self.heads > 0,
+            "zero-sized config"
+        );
         assert!(self.num_classes >= 2, "need at least two classes");
-        assert_eq!(self.image_size % self.patch_size, 0, "image must divide into patches");
+        assert_eq!(
+            self.image_size % self.patch_size,
+            0,
+            "image must divide into patches"
+        );
         assert_eq!(self.dim % self.heads, 0, "dim must divide into heads");
     }
 }
@@ -170,7 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "image must divide")]
     fn invalid_patching_panics() {
-        let cfg = VitConfig { patch_size: 7, ..VitConfig::tiny() };
+        let cfg = VitConfig {
+            patch_size: 7,
+            ..VitConfig::tiny()
+        };
         cfg.validate();
     }
 }

@@ -139,8 +139,11 @@ impl VisionTransformer {
         }
 
         let mut model = VisionTransformer::new(&config, &mut Rng::new(0));
-        let active: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect();
+        let active: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
         model.set_active_attentions(&active);
 
         let n_params = read_u32(&mut r)? as usize;

@@ -61,7 +61,13 @@ impl VisionTransformer {
         config.validate();
         let blocks = (0..config.depth)
             .map(|_| {
-                EncoderBlock::new(config.dim, config.heads, config.mlp_hidden(), config.quant, rng)
+                EncoderBlock::new(
+                    config.dim,
+                    config.heads,
+                    config.mlp_hidden(),
+                    config.quant,
+                    rng,
+                )
             })
             .collect();
         Self {
@@ -99,7 +105,11 @@ impl VisionTransformer {
     /// Panics if any index is out of range.
     pub fn set_active_attentions(&mut self, active: &[usize]) {
         for &i in active {
-            assert!(i < self.blocks.len(), "encoder index {i} out of depth {}", self.blocks.len());
+            assert!(
+                i < self.blocks.len(),
+                "encoder index {i} out of depth {}",
+                self.blocks.len()
+            );
         }
         for (i, b) in self.blocks.iter_mut().enumerate() {
             b.set_attention_active(active.contains(&i));
@@ -206,7 +216,12 @@ impl VisionTransformer {
         let normed = self.norm.infer(&x);
         let cls_feature = normed.slice_rows(0, 1);
         let logits = self.head.infer(&cls_feature);
-        ForwardTrace { attention_out, mlp_out, cls_feature, logits }
+        ForwardTrace {
+            attention_out,
+            mlp_out,
+            cls_feature,
+            logits,
+        }
     }
 
     /// Training forward pass; caches intermediates for [`Self::backward`].
@@ -382,7 +397,10 @@ mod tests {
         let (logits, _) = model.forward(&img);
         let before = cross_entropy(&logits, label);
         model.backward(&before.grad, None);
-        let mut adam = Adam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: 5e-3,
+            ..Default::default()
+        });
         adam.step(&mut model.params_mut());
         let after = cross_entropy(&model.infer(&img), label);
         assert!(
@@ -435,8 +453,13 @@ mod tests {
     fn param_count_scales_with_depth() {
         let mut small = tiny_model(0);
         let mut rng = Rng::new(0);
-        let mut deep =
-            VisionTransformer::new(&VitConfig { depth: 8, ..VitConfig::test_small() }, &mut rng);
+        let mut deep = VisionTransformer::new(
+            &VitConfig {
+                depth: 8,
+                ..VitConfig::test_small()
+            },
+            &mut rng,
+        );
         assert!(deep.param_count() > small.param_count());
     }
 }

@@ -2,9 +2,7 @@
 
 use crate::VisionTransformer;
 use pivot_data::Dataset;
-use pivot_nn::{
-    cross_entropy, distillation_mse, entropy_regularizer, Adam, AdamConfig,
-};
+use pivot_nn::{cross_entropy, distillation_mse, entropy_regularizer, Adam, AdamConfig};
 use pivot_tensor::Rng;
 
 /// Hyper-parameters for [`Trainer`].
@@ -101,7 +99,10 @@ impl Trainer {
     ) -> Vec<EpochStats> {
         let cfg = self.config;
         let mut rng = Rng::new(cfg.seed);
-        let mut adam = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let mut stats = Vec::with_capacity(cfg.epochs);
 
         let batches_per_epoch = data.train.len().div_ceil(cfg.batch_size).max(1);
@@ -271,8 +272,11 @@ mod tests {
         let mut plain = base.clone();
         Trainer::new(finetune).train(&mut plain, None, &data);
         let mut regularized = base;
-        Trainer::new(TrainConfig { entropy_weight: 0.5, ..finetune })
-            .train(&mut regularized, None, &data);
+        Trainer::new(TrainConfig {
+            entropy_weight: 0.5,
+            ..finetune
+        })
+        .train(&mut regularized, None, &data);
 
         let mean_entropy = |m: &VisionTransformer| {
             data.test
@@ -325,8 +329,11 @@ mod tests {
 
         let mut distilled = small_model(8);
         distilled.set_active_attentions(&[0, 2]);
-        Trainer::new(TrainConfig { distill_weight: 5.0, ..cfg })
-            .train(&mut distilled, Some(&teacher), &data);
+        Trainer::new(TrainConfig {
+            distill_weight: 5.0,
+            ..cfg
+        })
+        .train(&mut distilled, Some(&teacher), &data);
 
         assert!(
             feature_gap(&distilled) < feature_gap(&plain),
@@ -337,7 +344,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = small_data(9);
-        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let mut a = small_model(10);
         let sa = Trainer::new(cfg).train(&mut a, None, &data);
         let mut b = small_model(10);

@@ -12,7 +12,10 @@ fn main() {
     let geometries = [VitGeometry::deit_s(), VitGeometry::lvvit_s()];
 
     println!("== PE array shape sweep (input stationary, ZCU102 SRAM budget) ==");
-    println!("{:<10} {:>10} {:>12} {:>12} {:>10}", "array", "model", "delay (ms)", "energy (J)", "EDP");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10}",
+        "array", "model", "delay (ms)", "energy (J)", "EDP"
+    );
     for (rows, cols) in [(32, 18), (64, 36), (128, 72), (36, 64), (96, 24)] {
         let sim = Simulator::new(AcceleratorConfig {
             pe_rows: rows,
@@ -33,20 +36,25 @@ fn main() {
     }
 
     println!("\n== Dataflow ablation (64x36 array) ==");
-    println!("{:<22} {:>10} {:>12} {:>14}", "dataflow", "model", "delay (ms)", "MAC util (%)");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "dataflow", "model", "delay (ms)", "MAC util (%)"
+    );
     for dataflow in [
         Dataflow::InputStationary,
         Dataflow::WeightStationary,
         Dataflow::OutputStationary,
     ] {
-        let sim = Simulator::new(AcceleratorConfig { dataflow, ..AcceleratorConfig::zcu102() });
+        let sim = Simulator::new(AcceleratorConfig {
+            dataflow,
+            ..AcceleratorConfig::zcu102()
+        });
         for geom in &geometries {
             let perf = sim.simulate(geom, &vec![true; geom.depth]);
             // Rough utilization: ideal MAC cycles over the non-PS delay.
             let accel = sim.accelerator();
-            let ideal_ms = perf.macs as f64
-                / (accel.pe_rows * accel.pe_cols) as f64
-                / (accel.clock_mhz * 1e3);
+            let ideal_ms =
+                perf.macs as f64 / (accel.pe_rows * accel.pe_cols) as f64 / (accel.clock_mhz * 1e3);
             let mac_ms = perf.delay_ms
                 - perf.breakdown.get(pivot::sim::ModuleClass::Softmax)
                 - perf.breakdown.get(pivot::sim::ModuleClass::Norm)
@@ -64,7 +72,10 @@ fn main() {
     println!("\n== Effort sweep on the stock ZCU102 (DeiT-S) ==");
     let sim = Simulator::new(AcceleratorConfig::zcu102());
     let geom = VitGeometry::deit_s();
-    println!("{:>7} {:>12} {:>12} {:>10}", "effort", "delay (ms)", "energy (J)", "EDP");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10}",
+        "effort", "delay (ms)", "energy (J)", "EDP"
+    );
     for effort in (0..=12).step_by(3) {
         let mask: Vec<bool> = (0..12).map(|i| i < effort).collect();
         let perf = sim.simulate(&geom, &mask);

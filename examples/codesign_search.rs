@@ -30,10 +30,22 @@ fn main() {
 
     // Phase 1: train a 12-encoder stand-in and its effort ladder.
     let pipeline = PivotPipeline::new(PipelineConfig {
-        vit: VitConfig { depth: 12, dim: 32, heads: 2, ..VitConfig::test_small() },
+        vit: VitConfig {
+            depth: 12,
+            dim: 32,
+            heads: 2,
+            ..VitConfig::test_small()
+        },
         efforts: vec![3, 6, 9, 12],
-        teacher_train: TrainConfig { epochs: 8, ..Default::default() },
-        finetune: TrainConfig { epochs: 2, distill_weight: 0.5, ..Default::default() },
+        teacher_train: TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        finetune: TrainConfig {
+            epochs: 2,
+            distill_weight: 0.5,
+            ..Default::default()
+        },
         cka_batch: 48,
         seed: 1,
     });
@@ -63,10 +75,17 @@ fn main() {
         threshold_step: 0.02,
     }) {
         Some(r) => {
-            println!("  chosen combination: efforts [{}, {}]", r.low_effort, r.high_effort);
+            println!(
+                "  chosen combination: efforts [{}, {}]",
+                r.low_effort, r.high_effort
+            );
             println!("  low  path: {}", r.low_path);
             println!("  high path: {}", r.high_path);
-            println!("  threshold Th = {:.2}, F_L = {:.2}", r.threshold, r.stats.f_low());
+            println!(
+                "  threshold Th = {:.2}, F_L = {:.2}",
+                r.threshold,
+                r.stats.f_low()
+            );
             println!(
                 "  simulated: {:.2} ms, {:.3} J, EDP {:.2} Jxms, {:.2} FPS/W",
                 r.perf.delay_ms,

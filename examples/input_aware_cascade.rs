@@ -26,8 +26,16 @@ fn main() {
     let pipeline = PivotPipeline::new(PipelineConfig {
         vit: VitConfig::test_small(),
         efforts: vec![2, 4],
-        teacher_train: TrainConfig { epochs: 10, entropy_weight: 0.1, ..Default::default() },
-        finetune: TrainConfig { epochs: 3, distill_weight: 0.5, ..Default::default() },
+        teacher_train: TrainConfig {
+            epochs: 10,
+            entropy_weight: 0.1,
+            ..Default::default()
+        },
+        finetune: TrainConfig {
+            epochs: 3,
+            distill_weight: 0.5,
+            ..Default::default()
+        },
         cka_batch: 64,
         seed: 3,
     });

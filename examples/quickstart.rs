@@ -22,19 +22,33 @@ fn main() {
         },
         7,
     );
-    println!("dataset: {} train / {} test images", data.train.len(), data.test.len());
+    println!(
+        "dataset: {} train / {} test images",
+        data.train.len(),
+        data.test.len()
+    );
 
     // 2. Train the teacher and two effort paths (Phase 1 inside).
     let pipeline = PivotPipeline::new(PipelineConfig {
         vit: VitConfig::test_small(),
         efforts: vec![2, 4],
-        teacher_train: TrainConfig { epochs: 8, ..Default::default() },
-        finetune: TrainConfig { epochs: 3, distill_weight: 0.5, ..Default::default() },
+        teacher_train: TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        finetune: TrainConfig {
+            epochs: 3,
+            distill_weight: 0.5,
+            ..Default::default()
+        },
         cka_batch: 48,
         seed: 0,
     });
     let artifacts = pipeline.run(&data);
-    println!("teacher accuracy: {:.1}%", artifacts.teacher.accuracy(&data.test) * 100.0);
+    println!(
+        "teacher accuracy: {:.1}%",
+        artifacts.teacher.accuracy(&data.test) * 100.0
+    );
     for em in &artifacts.efforts {
         println!(
             "effort {}: path {} (score {:.2}), accuracy {:.1}%",
@@ -52,11 +66,10 @@ fn main() {
     let high = artifacts.efforts[1].model.clone();
     let mut cascade = MultiEffortVit::new(low, high, 0.02);
     let calibration = &data.train[..data.train.len().min(96)];
-    let mut threshold = 0.02f32;
-    while threshold < 1.0 && cascade.f_low_at(calibration, threshold) < 0.7 {
-        threshold += 0.02;
-    }
-    cascade.set_threshold(threshold.min(1.0));
+    // The cache runs low-effort inference once; every probed threshold is
+    // then an O(N) query instead of a fresh forward pass per sample.
+    let threshold = cascade.cache(calibration).threshold_reaching(0.7, 0.02);
+    cascade.set_threshold(threshold);
     println!("entropy threshold Th = {threshold:.2} (LEC 70%)");
     let stats = cascade.evaluate(&data.test);
     println!(

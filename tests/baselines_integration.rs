@@ -21,7 +21,12 @@ fn trained_model_and_data() -> (VisionTransformer, Dataset) {
         },
         17,
     );
-    let cfg = VitConfig { depth: 12, dim: 32, heads: 2, ..VitConfig::test_small() };
+    let cfg = VitConfig {
+        depth: 12,
+        dim: 32,
+        heads: 2,
+        ..VitConfig::test_small()
+    };
     let mut model = VisionTransformer::new(&cfg, &mut Rng::new(5));
     Trainer::new(TrainConfig {
         epochs: 18,
@@ -54,11 +59,20 @@ fn baseline_accuracy_ordering_on_trained_model() {
     // Both post-hoc compressions lose some accuracy vs dense; 90% attention
     // sparsity is the harsher intervention (paper: ViTCOD 78.1 < HeatViT
     // 79.1 < dense 79.8).
-    assert!(dense_acc >= vitcod_acc, "dense {dense_acc} vs ViTCOD {vitcod_acc}");
-    assert!(dense_acc >= heatvit_acc - 0.05, "dense {dense_acc} vs HeatViT {heatvit_acc}");
+    assert!(
+        dense_acc >= vitcod_acc,
+        "dense {dense_acc} vs ViTCOD {vitcod_acc}"
+    );
+    assert!(
+        dense_acc >= heatvit_acc - 0.05,
+        "dense {dense_acc} vs HeatViT {heatvit_acc}"
+    );
     // Mild sparsity degrades less than heavy sparsity.
     let mild_acc = VitCod::new(0.3).accuracy(&model, &data.test) as f64;
-    assert!(mild_acc >= vitcod_acc, "mild {mild_acc} vs 90% sparse {vitcod_acc}");
+    assert!(
+        mild_acc >= vitcod_acc,
+        "mild {mild_acc} vs 90% sparse {vitcod_acc}"
+    );
 }
 
 /// Fig. 1c / Fig. 7 cost-model claims hold on every platform.
@@ -109,8 +123,7 @@ fn pivot_gpp_sync_overhead_is_negligible() {
     without_sync.sync_count = 0.0;
     for p in Platform::ALL {
         let spec = p.spec();
-        let overhead =
-            spec.delay_ms(&with_sync) - spec.delay_ms(&without_sync);
+        let overhead = spec.delay_ms(&with_sync) - spec.delay_ms(&without_sync);
         let share = overhead / spec.delay_ms(&with_sync);
         assert!(share < 0.04, "{}: entropy sync share {share}", spec.name);
     }

@@ -1,9 +1,7 @@
 //! End-to-end integration: dataset -> training -> CKA -> Phase 1 ->
 //! Phase 2 (simulator in the loop) -> cascade deployment.
 
-use pivot::core::{
-    MultiEffortVit, Phase2Config, Phase2Search, PipelineConfig, PivotPipeline,
-};
+use pivot::core::{MultiEffortVit, Phase2Config, Phase2Search, PipelineConfig, PivotPipeline};
 use pivot::data::{Dataset, DatasetConfig};
 use pivot::sim::{AcceleratorConfig, Simulator, VitGeometry};
 use pivot::vit::{TrainConfig, VitConfig};
@@ -23,10 +21,22 @@ fn dataset() -> Dataset {
 
 fn pipeline() -> PivotPipeline {
     PivotPipeline::new(PipelineConfig {
-        vit: VitConfig { depth: 12, dim: 32, heads: 2, ..VitConfig::test_small() },
+        vit: VitConfig {
+            depth: 12,
+            dim: 32,
+            heads: 2,
+            ..VitConfig::test_small()
+        },
         efforts: vec![3, 6, 9, 12],
-        teacher_train: TrainConfig { epochs: 14, ..Default::default() },
-        finetune: TrainConfig { epochs: 2, distill_weight: 0.5, ..Default::default() },
+        teacher_train: TrainConfig {
+            epochs: 14,
+            ..Default::default()
+        },
+        finetune: TrainConfig {
+            epochs: 2,
+            distill_weight: 0.5,
+            ..Default::default()
+        },
         cka_batch: 40,
         seed: 2,
     })
@@ -77,8 +87,7 @@ fn full_codesign_flow_produces_a_working_cascade() {
         .iter()
         .find(|e| e.effort == result.high_effort)
         .expect("high effort model");
-    let cascade =
-        MultiEffortVit::new(low.model.clone(), high.model.clone(), result.threshold);
+    let cascade = MultiEffortVit::new(low.model.clone(), high.model.clone(), result.threshold);
     let stats = cascade.evaluate(&data.test);
     assert_eq!(stats.total(), data.test.len());
 
@@ -113,7 +122,9 @@ fn cascade_escalates_more_on_harder_inputs() {
     // Core input-awareness property: the low-effort entropy is higher on
     // harder inputs.
     let mean_entropy = |set: &[pivot::data::Sample]| {
-        set.iter().map(|s| normalized_entropy(&low.infer(&s.image))).sum::<f32>()
+        set.iter()
+            .map(|s| normalized_entropy(&low.infer(&s.image)))
+            .sum::<f32>()
             / set.len() as f32
     };
     let e_easy = mean_entropy(&easy);
@@ -147,8 +158,7 @@ fn phase1_paths_skip_deeper_layers_on_trained_models() {
         .find(|e| e.effort == 6)
         .expect("effort 6 exists");
     let skipped = mid.path.skipped();
-    let mean_skip: f64 =
-        skipped.iter().map(|&i| i as f64).sum::<f64>() / skipped.len() as f64;
+    let mean_skip: f64 = skipped.iter().map(|&i| i as f64).sum::<f64>() / skipped.len() as f64;
     // Mean skipped index above the depth midpoint (5.5) means deep bias.
     assert!(
         mean_skip > 4.5,

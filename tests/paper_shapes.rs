@@ -2,9 +2,7 @@
 //! need training (pure simulator / combinatorics / cost models).
 
 use pivot::core::{search_space, PathConfig, TrainCostModel};
-use pivot::sim::{
-    combine_efforts, AcceleratorConfig, ModuleClass, Simulator, VitGeometry,
-};
+use pivot::sim::{combine_efforts, AcceleratorConfig, ModuleClass, Simulator, VitGeometry};
 
 fn sim() -> Simulator {
     Simulator::new(AcceleratorConfig::zcu102())
@@ -31,11 +29,18 @@ fn table2_shape_edp_reductions() {
         0.75,
     );
 
-    assert!((42.0..53.0).contains(&pvds50.delay_ms), "PVDS-50 delay {}", pvds50.delay_ms);
+    assert!(
+        (42.0..53.0).contains(&pvds50.delay_ms),
+        "PVDS-50 delay {}",
+        pvds50.delay_ms
+    );
     let edp50 = baseline.edp() / pvds50.edp();
     let edp35 = baseline.edp() / pvds35.edp();
     assert!(edp50 > 1.3, "PVDS-50 EDP reduction {edp50} (paper 1.73x)");
-    assert!(edp35 > edp50, "PVDS-35 ({edp35}) must reduce EDP more than PVDS-50 ({edp50})");
+    assert!(
+        edp35 > edp50,
+        "PVDS-35 ({edp35}) must reduce EDP more than PVDS-50 ({edp50})"
+    );
     assert!(edp35 > 2.0, "PVDS-35 EDP reduction {edp35} (paper 2.6x)");
 }
 
@@ -80,13 +85,18 @@ fn fig6a_shape_softmax_share_shrinks() {
         0.75,
     );
     let base_sm = baseline.breakdown.fraction(ModuleClass::Softmax);
-    let pivot_sm =
-        cascade.breakdown.get(ModuleClass::Softmax) / cascade.breakdown.total_ms();
-    assert!(pivot_sm < base_sm, "softmax share must shrink: {base_sm} -> {pivot_sm}");
+    let pivot_sm = cascade.breakdown.get(ModuleClass::Softmax) / cascade.breakdown.total_ms();
+    assert!(
+        pivot_sm < base_sm,
+        "softmax share must shrink: {base_sm} -> {pivot_sm}"
+    );
 
     let base_mlp = baseline.breakdown.fraction(ModuleClass::Mlp);
     let pivot_mlp = cascade.breakdown.get(ModuleClass::Mlp) / cascade.breakdown.total_ms();
-    assert!(pivot_mlp > base_mlp, "MLP share must grow: {base_mlp} -> {pivot_mlp}");
+    assert!(
+        pivot_mlp > base_mlp,
+        "MLP share must grow: {base_mlp} -> {pivot_mlp}"
+    );
 }
 
 /// Fig. 6b shape: the PS energy reduction is at least as large as any PL
@@ -104,7 +114,11 @@ fn fig6b_shape_ps_reduction_leads() {
     );
     let reduction = |c: EnergyComponent| baseline.energy.get(c) / cascade.energy.get(c);
     let ps = reduction(EnergyComponent::Ps);
-    for c in [EnergyComponent::PeArray, EnergyComponent::Sram, EnergyComponent::Periphery] {
+    for c in [
+        EnergyComponent::PeArray,
+        EnergyComponent::Sram,
+        EnergyComponent::Periphery,
+    ] {
         assert!(
             ps >= reduction(c) * 0.98,
             "PS reduction {ps} must lead {:?} ({})",
@@ -131,10 +145,12 @@ fn fig4b_shape_design_space() {
 fn fig4c_shape_training_cost() {
     let sim = sim();
     let model = TrainCostModel::default();
-    let deit_paths: Vec<PathConfig> =
-        (3..=9).map(|e| PathConfig::new(12, &(0..e).collect::<Vec<_>>())).collect();
-    let lv_paths: Vec<PathConfig> =
-        (4..=12).map(|e| PathConfig::new(16, &(0..e).collect::<Vec<_>>())).collect();
+    let deit_paths: Vec<PathConfig> = (3..=9)
+        .map(|e| PathConfig::new(12, &(0..e).collect::<Vec<_>>()))
+        .collect();
+    let lv_paths: Vec<PathConfig> = (4..=12)
+        .map(|e| PathConfig::new(16, &(0..e).collect::<Vec<_>>()))
+        .collect();
     let deit_cost = model.all_efforts_cost(&sim, &VitGeometry::deit_s(), &deit_paths);
     let lv_cost = model.all_efforts_cost(&sim, &VitGeometry::lvvit_s(), &lv_paths);
     assert!(deit_cost < 0.5, "DeiT-S cost {deit_cost} (paper ~1/3)");
