@@ -1,26 +1,74 @@
 //! Microbenchmarks of the dense matmul kernels under `pivot-tensor`,
-//! at the shapes the tiny ViTs actually execute.
+//! at the shapes the tiny ViTs actually execute: naive reference vs. the
+//! blocked microkernel vs. one wide batched GEMM over a stacked batch.
+//! Results are written to `BENCH_matmul.json` at the workspace root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pivot_tensor::{Matrix, Rng};
+use pivot_tensor::{Batch, Matrix, Rng, MATMUL_TILE};
+
+/// Samples stacked into the wide-GEMM comparison (matches
+/// `pivot_core::EVAL_BATCH`).
+const BATCH: usize = 32;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::new(0);
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
 
-    // Tiny-ViT projection: tokens x dim * dim x dim.
+    // Tiny-ViT projection: tokens x dim * dim x dim, naive vs blocked.
     let x17 = Matrix::randn(17, 64, 1.0, &mut rng);
     let w64 = Matrix::randn(64, 64, 1.0, &mut rng);
-    group.bench_function("17x64 * 64x64 (qkv slice)", |b| {
-        b.iter(|| black_box(&x17).matmul(black_box(&w64)))
+    group.bench_function("naive 17x64 * 64x64 (qkv slice)", |b| {
+        b.iter(|| black_box(&x17).matmul_naive(black_box(&w64)))
+    });
+    group.bench_function("blocked 17x64 * 64x64 (qkv slice)", |b| {
+        b.iter(|| black_box(&x17).matmul_blocked(black_box(&w64)))
     });
 
     // MLP expansion.
     let w_up = Matrix::randn(64, 128, 1.0, &mut rng);
-    group.bench_function("17x64 * 64x128 (mlp fc1)", |b| {
-        b.iter(|| black_box(&x17).matmul(black_box(&w_up)))
+    group.bench_function("naive 17x64 * 64x128 (mlp fc1)", |b| {
+        b.iter(|| black_box(&x17).matmul_naive(black_box(&w_up)))
     });
+    group.bench_function("blocked 17x64 * 64x128 (mlp fc1)", |b| {
+        b.iter(|| black_box(&x17).matmul_blocked(black_box(&w_up)))
+    });
+
+    // A multi-tile square GEMM where blocking earns its keep.
+    let sq = 3 * MATMUL_TILE;
+    let a_sq = Matrix::randn(sq, sq, 1.0, &mut rng);
+    let b_sq = Matrix::randn(sq, sq, 1.0, &mut rng);
+    group.bench_function(format!("naive {sq}x{sq} * {sq}x{sq}"), |b| {
+        b.iter(|| black_box(&a_sq).matmul_naive(black_box(&b_sq)))
+    });
+    group.bench_function(format!("blocked {sq}x{sq} * {sq}x{sq}"), |b| {
+        b.iter(|| black_box(&a_sq).matmul_blocked(black_box(&b_sq)))
+    });
+
+    // Batched: BATCH per-sample GEMMs vs. one wide GEMM over the stack —
+    // the comparison `forward_batch` makes per layer.
+    let samples: Vec<Matrix> = (0..BATCH)
+        .map(|_| Matrix::randn(17, 64, 1.0, &mut rng))
+        .collect();
+    let stacked = Batch::from_samples(&samples);
+    group.bench_function(format!("per-sample {BATCH} x (17x64 * 64x64)"), |b| {
+        b.iter(|| {
+            for s in black_box(&samples) {
+                black_box(s.matmul(&w64));
+            }
+        })
+    });
+    group.bench_function(
+        format!("batched {}x64 * 64x64 (one GEMM)", BATCH * 17),
+        |b| b.iter(|| black_box(stacked.as_matrix()).matmul(black_box(&w64))),
+    );
+
+    // Buffer-reusing variant: no output allocation per call.
+    let mut out = Matrix::zeros(BATCH * 17, 64);
+    group.bench_function(
+        format!("batched {}x64 * 64x64 (matmul_into)", BATCH * 17),
+        |b| b.iter(|| black_box(stacked.as_matrix()).matmul_into(black_box(&w64), &mut out)),
+    );
 
     // Attention scores via the no-transpose kernel.
     let q = Matrix::randn(17, 16, 1.0, &mut rng);
@@ -37,6 +85,11 @@ fn bench_matmul(c: &mut Criterion) {
     });
 
     group.finish();
+    c.save_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_matmul.json"
+    ))
+    .expect("write BENCH_matmul.json");
 }
 
 criterion_group!(benches, bench_matmul);

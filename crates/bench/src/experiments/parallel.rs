@@ -13,6 +13,7 @@ use pivot_core::{
     EffortModel, MultiEffortVit, Parallelism, PathConfig, Phase2Config, Phase2Search,
 };
 use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_nn::QuantMode;
 use pivot_sim::{AcceleratorConfig, Simulator, VitGeometry};
 use pivot_tensor::Rng;
 use pivot_vit::{VisionTransformer, VitConfig};
@@ -27,6 +28,12 @@ pub struct ParallelSpeedup {
     pub evaluate_seq_ms: f64,
     /// Parallel cascade `evaluate` over the same set (ms).
     pub evaluate_par_ms: f64,
+    /// Per-sample cascade evaluation — the PR 1 reference path, one
+    /// `infer` call per sample on the worker pool (ms).
+    pub evaluate_per_sample_ms: f64,
+    /// Batched cascade evaluation — `forward_batch` chunks on the worker
+    /// pool, same parallelism as the per-sample run (ms).
+    pub evaluate_batched_ms: f64,
     /// Sequential `Phase2Search::run` (ms).
     pub phase2_seq_ms: f64,
     /// Parallel `Phase2Search::run` (ms).
@@ -51,6 +58,13 @@ impl ParallelSpeedup {
         self.phase2_seq_ms / self.phase2_par_ms.max(1e-9)
     }
 
+    /// Per-sample-over-batched speedup of cascade evaluation — what the
+    /// wide-GEMM batch dimension buys over the PR 1 path at identical
+    /// parallelism.
+    pub fn batch_speedup(&self) -> f64 {
+        self.evaluate_per_sample_ms / self.evaluate_batched_ms.max(1e-9)
+    }
+
     /// Uncached-over-cached speedup of the threshold sweep.
     pub fn sweep_speedup(&self) -> f64 {
         self.sweep_uncached_ms / self.sweep_cached_ms.max(1e-9)
@@ -62,7 +76,12 @@ fn build_efforts(depth: usize, efforts: &[usize], seed: u64) -> Vec<EffortModel>
         depth,
         ..VitConfig::test_small()
     };
-    let base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+    let mut base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+    // Deployment numerics: the paper runs every effort 8-bit quantized
+    // (Section 4.1), so the throughput comparison uses Int8 weights —
+    // each Linear materializes a fake-quantized effective weight per
+    // forward call, the per-call cost batching amortizes.
+    base.set_quant_mode(QuantMode::Int8);
     efforts
         .iter()
         .map(|&e| {
@@ -88,9 +107,11 @@ fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
 
 /// Measures sequential vs. parallel wall-clock of the evaluation engine
 /// on `n_samples` synthetic inputs and prints a report. On a single-core
-/// host the speedups hover around 1.0x (the pool degenerates to the
-/// sequential path); on >= 4 cores the cascade evaluate and Phase-2
-/// search land >= 2x.
+/// host the thread speedups hover around 1.0x (the pool degenerates to
+/// the sequential path) but the batched-vs-per-sample row still wins —
+/// batching amortizes per-call weight materialization and allocations
+/// regardless of core count. On >= 4 cores the thread rows land >= 2x
+/// as well.
 pub fn parallel_speedup(n_samples: usize) -> ParallelSpeedup {
     println!("\n=== Parallel evaluation engine: sequential vs. worker pool ===");
     let workers = Parallelism::Auto.workers(usize::MAX);
@@ -113,6 +134,14 @@ pub fn parallel_speedup(n_samples: usize) -> ParallelSpeedup {
     let (evaluate_par_ms, stats_par) =
         time_ms(|| cascade.evaluate_with(samples, Parallelism::Auto));
     identical &= stats_seq == stats_par;
+
+    // 1b. Batched vs per-sample cascade evaluation at identical
+    // parallelism: what the wide-GEMM batch dimension buys on its own.
+    let (evaluate_per_sample_ms, stats_ps) =
+        time_ms(|| cascade.evaluate_per_sample_with(samples, Parallelism::Auto));
+    let (evaluate_batched_ms, stats_batched) =
+        time_ms(|| cascade.evaluate_with(samples, Parallelism::Auto));
+    identical &= stats_ps == stats_batched && stats_batched == stats_par;
 
     // 2. Phase-2 hardware-in-the-loop search.
     let sim = Simulator::new(AcceleratorConfig::zcu102());
@@ -159,6 +188,8 @@ pub fn parallel_speedup(n_samples: usize) -> ParallelSpeedup {
         workers,
         evaluate_seq_ms,
         evaluate_par_ms,
+        evaluate_per_sample_ms,
+        evaluate_batched_ms,
         phase2_seq_ms,
         phase2_par_ms,
         sweep_uncached_ms,
@@ -166,12 +197,18 @@ pub fn parallel_speedup(n_samples: usize) -> ParallelSpeedup {
         bit_identical: identical,
     };
 
-    let mut table = Table::new(&["Workload", "Sequential (ms)", "Parallel (ms)", "Speedup"]);
+    let mut table = Table::new(&["Workload", "Baseline (ms)", "Optimized (ms)", "Speedup"]);
     table.row_owned(vec![
         format!("cascade evaluate ({} samples)", samples.len()),
         format!("{evaluate_seq_ms:.1}"),
         format!("{evaluate_par_ms:.1}"),
         format!("{:.2}x", out.evaluate_speedup()),
+    ]);
+    table.row_owned(vec![
+        "cascade evaluate: per-sample vs batched".to_string(),
+        format!("{evaluate_per_sample_ms:.1}"),
+        format!("{evaluate_batched_ms:.1}"),
+        format!("{:.2}x", out.batch_speedup()),
     ]);
     table.row_owned(vec![
         format!("Phase2Search::run ({} calib)", calibration.len()),
@@ -219,5 +256,24 @@ mod tests {
         // plus noise; with 51 thresholds it should win clearly even on
         // one core.
         assert!(report.sweep_cached_ms < report.sweep_uncached_ms);
+    }
+
+    /// Multi-core throughput smoke test (`cargo test -- --ignored`):
+    /// at 1000 samples the batched cascade evaluation must beat the PR 1
+    /// per-sample path by >= 2x. Ignored by default because it takes tens
+    /// of seconds and its timing assertions are load-sensitive.
+    #[test]
+    #[ignore = "throughput smoke test; run explicitly with --ignored"]
+    fn parallel_speedup_smoke() {
+        let report = parallel_speedup(1000);
+        assert!(
+            report.bit_identical,
+            "parallel results must be bit-identical"
+        );
+        assert!(
+            report.batch_speedup() >= 2.0,
+            "batched cascade evaluation only {:.2}x faster than per-sample",
+            report.batch_speedup()
+        );
     }
 }

@@ -1,0 +1,93 @@
+//! Chunked batched inference over sample sets.
+//!
+//! Every sample-sweep in `pivot-core` (cache builds, cascade evaluation,
+//! ladder evaluation) needs the same primitive: per-sample logits for a
+//! list of images. [`batched_logits`] runs them through
+//! [`VisionTransformer::forward_batch`] in fixed-size chunks distributed
+//! over the worker pool, so each model layer runs one wide GEMM per chunk
+//! instead of one GEMM per sample, and each layer's effective
+//! (fake-quantized) weight is materialized once per chunk.
+//!
+//! `forward_batch` is bit-identical to per-sample `infer` row by row, and
+//! chunk boundaries only decide which rows share a GEMM — so the returned
+//! logits are bit-identical to the per-sample path for every chunk size,
+//! worker count, and scheduling.
+
+use crate::parallel::{par_map, Parallelism};
+use pivot_data::Sample;
+use pivot_tensor::Matrix;
+use pivot_vit::VisionTransformer;
+
+/// Samples per `forward_batch` call.
+///
+/// Large enough to amortize per-layer weight materialization and to feed
+/// the blocked matmul kernel multi-tile row counts; small enough that a
+/// chunk's activations stay cache-resident and the worker pool has
+/// chunks to balance across threads.
+pub const EVAL_BATCH: usize = 32;
+
+/// Per-sample logits (`1 x num_classes` each, in item order) for arbitrary
+/// items carrying an image, computed in [`EVAL_BATCH`]-sized chunks on the
+/// worker pool.
+pub fn batched_logits_with<T: Sync>(
+    model: &VisionTransformer,
+    items: &[T],
+    image: impl for<'a> Fn(&'a T) -> &'a Matrix + Sync,
+    par: Parallelism,
+) -> Vec<Matrix> {
+    let ranges: Vec<(usize, usize)> = (0..items.len())
+        .step_by(EVAL_BATCH)
+        .map(|start| (start, (start + EVAL_BATCH).min(items.len())))
+        .collect();
+    let chunks = par_map(&ranges, par, |_, &(start, end)| {
+        let images: Vec<Matrix> = items[start..end].iter().map(|t| image(t).clone()).collect();
+        model.forward_batch(&images)
+    });
+    chunks
+        .iter()
+        .flat_map(|logits| (0..logits.rows()).map(|r| logits.slice_rows(r, r + 1)))
+        .collect()
+}
+
+/// [`batched_logits_with`] over labeled samples.
+pub fn batched_logits(
+    model: &VisionTransformer,
+    samples: &[Sample],
+    par: Parallelism,
+) -> Vec<Matrix> {
+    batched_logits_with(model, samples, |s| &s.image, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_data::{Dataset, DatasetConfig};
+    use pivot_tensor::Rng;
+    use pivot_vit::VitConfig;
+
+    #[test]
+    fn batched_logits_are_bit_identical_to_per_sample_infer() {
+        let model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(0));
+        // More samples than one chunk, with a ragged tail.
+        let samples = Dataset::generate_difficulty_stripes(
+            &DatasetConfig::small(),
+            &[0.2, 0.8],
+            EVAL_BATCH / 2 + 3,
+            1,
+        );
+        assert!(samples.len() > EVAL_BATCH && !samples.len().is_multiple_of(EVAL_BATCH));
+        for par in [Parallelism::Off, Parallelism::Fixed(4)] {
+            let logits = batched_logits(&model, &samples, par);
+            assert_eq!(logits.len(), samples.len());
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(logits[i], model.infer(&s.image), "sample {i} under {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_yields_no_logits() {
+        let model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(2));
+        assert!(batched_logits(&model, &[], Parallelism::Auto).is_empty());
+    }
+}

@@ -20,8 +20,9 @@
 //! * Queries are pure reads: building with any [`Parallelism`] yields
 //!   bit-identical contents, so every downstream result is deterministic.
 
+use crate::batched::{batched_logits, batched_logits_with};
 use crate::cascade::{stays_low, CascadeStats};
-use crate::parallel::{par_map, Parallelism};
+use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropies;
 use pivot_tensor::Matrix;
@@ -52,10 +53,12 @@ pub struct CascadeCache {
 }
 
 impl CascadeCache {
-    /// Runs low-effort inference over `samples` on the worker pool and
-    /// caches logits, normalized entropies and argmax predictions.
+    /// Runs low-effort inference over `samples` — batched through
+    /// [`forward_batch`](VisionTransformer::forward_batch) on the worker
+    /// pool — and caches logits, normalized entropies and argmax
+    /// predictions.
     pub fn build(low: &VisionTransformer, samples: &[Sample], par: Parallelism) -> Self {
-        let low_logits = par_map(samples, par, |_, s| low.infer(&s.image));
+        let low_logits = batched_logits(low, samples, par);
         let entropies = normalized_entropies(&low_logits);
         let low_predictions = low_logits.iter().map(|l| l.row_argmax(0)).collect();
         Self {
@@ -139,9 +142,9 @@ impl CascadeCache {
 
     /// Evaluates the cascade against ground-truth labels at `threshold`:
     /// low-effort outcomes come from the cache, only the escalated samples
-    /// run high-effort inference (on the worker pool). Statistics are
-    /// accumulated in sample order, so the result is bit-identical for
-    /// any [`Parallelism`].
+    /// run high-effort inference (batched, on the worker pool).
+    /// Statistics are accumulated in sample order, so the result is
+    /// bit-identical for any [`Parallelism`].
     ///
     /// # Panics
     ///
@@ -160,9 +163,13 @@ impl CascadeCache {
             "cache built from a different sample set"
         );
         let escalated = self.escalated(threshold);
-        let high_correct = par_map(&escalated, par, |_, &i| {
-            high.infer(&samples[i].image).row_argmax(0) == samples[i].label
-        });
+        let escalated_samples: Vec<&Sample> = escalated.iter().map(|&i| &samples[i]).collect();
+        let high_logits = batched_logits_with(high, &escalated_samples, |s| &s.image, par);
+        let high_correct: Vec<bool> = escalated
+            .iter()
+            .zip(&high_logits)
+            .map(|(&i, logits)| logits.row_argmax(0) == samples[i].label)
+            .collect();
 
         let mut stats = CascadeStats::default();
         let mut next_escalated = 0;

@@ -1,5 +1,6 @@
 //! The entropy-gated multi-effort inference engine (paper Fig. 2a).
 
+use crate::batched::batched_logits_with;
 use crate::cache::CascadeCache;
 use crate::parallel::{par_map, Parallelism};
 use pivot_data::Sample;
@@ -247,10 +248,31 @@ impl MultiEffortVit {
         self.evaluate_with(samples, self.parallelism)
     }
 
-    /// [`Self::evaluate`] with an explicit parallelism. The per-sample
-    /// outcomes are computed on the pool and reduced in sample order, so
-    /// the statistics are bit-identical for every `par`.
+    /// [`Self::evaluate`] with an explicit parallelism.
+    ///
+    /// Runs the batched pipeline: one chunked
+    /// [`forward_batch`](VisionTransformer::forward_batch) sweep of the
+    /// low effort over all samples, then one batched high-effort sweep
+    /// over the escalated subset. Statistics are reduced in sample order,
+    /// and `forward_batch` matches per-sample inference bitwise, so the
+    /// result is bit-identical to [`Self::evaluate_per_sample_with`] for
+    /// every `par` and batch split.
     pub fn evaluate_with(&self, samples: &[Sample], par: Parallelism) -> CascadeStats {
+        CascadeCache::build(&self.low, samples, par).evaluate(
+            &self.high,
+            samples,
+            self.threshold,
+            par,
+        )
+    }
+
+    /// The pre-batching reference path: one [`Self::infer`] per sample on
+    /// the worker pool, no wide GEMMs and no entropy cache.
+    ///
+    /// Kept as the differential-testing oracle for
+    /// [`Self::evaluate_with`] and as the baseline the
+    /// `parallel_speedup` experiment measures batching against.
+    pub fn evaluate_per_sample_with(&self, samples: &[Sample], par: Parallelism) -> CascadeStats {
         let outcomes = par_map(samples, par, |_, sample| {
             let outcome = self.infer(&sample.image);
             (outcome.used_high, outcome.prediction == sample.label)
@@ -275,22 +297,40 @@ impl MultiEffortVit {
         self.evaluate_with_oracle_par(samples, difficulty_threshold, self.parallelism)
     }
 
-    /// [`Self::evaluate_with_oracle`] with an explicit parallelism.
+    /// [`Self::evaluate_with_oracle`] with an explicit parallelism. The
+    /// difficulty partition is known up front, so each side runs as one
+    /// batched sweep; statistics are still reduced in sample order.
     pub fn evaluate_with_oracle_par(
         &self,
         samples: &[Sample],
         difficulty_threshold: f32,
         par: Parallelism,
     ) -> CascadeStats {
-        let outcomes = par_map(samples, par, |_, sample| {
+        let mut easy_samples = Vec::new();
+        let mut hard_samples = Vec::new();
+        let mut is_easy = Vec::with_capacity(samples.len());
+        for sample in samples {
             let easy = sample.difficulty < difficulty_threshold;
-            let model = if easy { &self.low } else { &self.high };
-            let correct = model.infer(&sample.image).row_argmax(0) == sample.label;
-            (!easy, correct)
-        });
+            is_easy.push(easy);
+            if easy {
+                easy_samples.push(sample);
+            } else {
+                hard_samples.push(sample);
+            }
+        }
+        let easy_logits = batched_logits_with(&self.low, &easy_samples, |s| &s.image, par);
+        let hard_logits = batched_logits_with(&self.high, &hard_samples, |s| &s.image, par);
         let mut stats = CascadeStats::default();
-        for (used_high, correct) in outcomes {
-            stats.record(used_high, correct);
+        let (mut next_easy, mut next_hard) = (0, 0);
+        for (i, sample) in samples.iter().enumerate() {
+            let (logits, used_high) = if is_easy[i] {
+                next_easy += 1;
+                (&easy_logits[next_easy - 1], false)
+            } else {
+                next_hard += 1;
+                (&hard_logits[next_hard - 1], true)
+            };
+            stats.record(used_high, logits.row_argmax(0) == sample.label);
         }
         stats
     }
@@ -437,6 +477,25 @@ mod tests {
         assert_eq!(stats.n_high, stats.c_high + stats.i_high);
         assert!((stats.f_low() + stats.f_high() - 1.0).abs() < 1e-12);
         assert!((0.0..=1.0).contains(&stats.accuracy()));
+    }
+
+    #[test]
+    fn batched_evaluate_matches_per_sample_reference() {
+        // The batched pipeline (wide GEMMs + entropy cache) must agree
+        // with the one-infer-per-sample reference exactly, for every
+        // threshold and parallelism.
+        let (low, high) = models(40);
+        let set = samples(26, 41);
+        for th in [0.0, 0.5, 1.0] {
+            let cascade = MultiEffortVit::new(low.clone(), high.clone(), th);
+            for par in [Parallelism::Off, Parallelism::Fixed(3)] {
+                assert_eq!(
+                    cascade.evaluate_with(&set, par),
+                    cascade.evaluate_per_sample_with(&set, par),
+                    "Th={th} under {par:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   `F_L`, `F_H`).
 //! * [`cache`] — the entropy cache: low-effort logits computed once per
 //!   sample set, serving `F_L` queries and threshold sweeps in O(N).
-//! * [`parallel`] — the deterministic scoped-thread worker pool behind
+//! * [`batched`] — chunked `forward_batch` inference over sample sets:
+//!   one wide GEMM per layer per chunk, bit-identical to per-sample
+//!   inference.
+//! * [`parallel`] — the deterministic persistent worker pool behind
 //!   every batched evaluation ([`Parallelism`], [`par_map`]).
 //! * [`phase2`] — the hardware-in-the-loop search for the optimal effort
 //!   combination under LEC and delay constraints (Fig. 2c), with
@@ -24,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batched;
 pub mod cache;
 pub mod cascade;
 pub mod multilevel;
@@ -36,9 +40,10 @@ pub mod score;
 pub mod search_space;
 pub mod train_cost;
 
+pub use batched::{batched_logits, batched_logits_with, EVAL_BATCH};
 pub use cache::CascadeCache;
 pub use cascade::{stays_low, CascadeOutcome, CascadeStats, MultiEffortVit};
-pub use multilevel::{EffortLadder, LadderOutcome, LadderStats};
+pub use multilevel::{EffortLadder, LadderCache, LadderOutcome, LadderStats};
 pub use parallel::{par_map, Parallelism};
 pub use path::PathConfig;
 pub use phase1::{select_optimal_path, select_optimal_path_with, Phase1Result, ScoredPath};

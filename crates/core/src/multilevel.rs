@@ -7,7 +7,9 @@
 //! some level falls below that level's threshold (the last level accepts
 //! everything). With `N = 2` this is exactly the paper's low/high cascade.
 
+use crate::batched::batched_logits_with;
 use crate::cascade::CascadeStats;
+use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
@@ -160,7 +162,9 @@ impl EffortLadder {
         unreachable!("last level always accepts");
     }
 
-    /// Evaluates the ladder on labeled samples.
+    /// Evaluates the ladder on labeled samples, one [`Self::infer`] per
+    /// sample (the sequential reference; see [`Self::evaluate_cached`] for
+    /// the batched, memoized path).
     pub fn evaluate(&self, samples: &[Sample]) -> LadderStats {
         let mut stats = LadderStats {
             per_level: vec![(0, 0); self.levels.len()],
@@ -172,6 +176,30 @@ impl EffortLadder {
             entry.1 += (out.prediction == s.label) as usize;
         }
         stats
+    }
+
+    /// Creates an empty [`LadderCache`] sized for this ladder and
+    /// `n_samples` calibration samples.
+    pub fn cache(&self, n_samples: usize) -> LadderCache {
+        LadderCache::new(self.levels.len(), n_samples)
+    }
+
+    /// Batched ladder evaluation through a [`LadderCache`]: level-by-level
+    /// wide GEMM sweeps, inferring only samples that reach a level and are
+    /// not already memoized there. Bit-identical to [`Self::evaluate`].
+    pub fn evaluate_cached(
+        &self,
+        samples: &[Sample],
+        cache: &mut LadderCache,
+        par: Parallelism,
+    ) -> LadderStats {
+        cache.evaluate(&self.levels, samples, &self.thresholds, par)
+    }
+
+    /// [`Self::evaluate`] through the batched pipeline without keeping the
+    /// memo around.
+    pub fn evaluate_batched(&self, samples: &[Sample], par: Parallelism) -> LadderStats {
+        self.evaluate_cached(samples, &mut self.cache(samples.len()), par)
     }
 
     /// Collapses the ladder into the paper's two-level [`CascadeStats`],
@@ -190,6 +218,162 @@ impl EffortLadder {
                 stats.c_high += c;
                 stats.i_high += n - c;
             }
+        }
+        stats
+    }
+}
+
+/// One memoized inference: a sample's logits at one ladder level.
+#[derive(Debug, Clone)]
+struct LevelEntry {
+    logits: Matrix,
+    entropy: f32,
+    prediction: usize,
+}
+
+/// N-level extension of [`CascadeCache`](crate::CascadeCache): per-level
+/// logits, entropies and predictions memoized per sample, filled lazily as
+/// samples escalate.
+///
+/// A threshold sweep over a ladder re-runs no inference for levels a
+/// sample already visited — only samples newly escalated past a gate
+/// re-infer at the next level up. The memo is keyed by `(level, sample
+/// index)`; callers must pass the same sample slice the cache was sized
+/// for (checked by length).
+///
+/// ## Invariants
+///
+/// * `entries[l][i]`, when filled, holds exactly the level-`l` model's
+///   logits for sample `i` (bit-identical to `levels[l].infer`), with
+///   `entropy`/`prediction` derived from those logits.
+/// * Entries are only ever added, never changed: two evaluations that
+///   route a sample through the same levels observe the same memo.
+/// * Gates use the ladder's strict `entropy < threshold` rule, so cached
+///   and uncached evaluation agree bitwise.
+#[derive(Debug, Clone)]
+pub struct LadderCache {
+    entries: Vec<Vec<Option<LevelEntry>>>,
+}
+
+impl LadderCache {
+    /// Creates an empty cache for `levels` ladder levels and `n_samples`
+    /// samples.
+    pub fn new(levels: usize, n_samples: usize) -> Self {
+        Self {
+            entries: vec![vec![None; n_samples]; levels],
+        }
+    }
+
+    /// Number of ladder levels the cache is sized for.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of samples the cache is sized for.
+    pub fn len(&self) -> usize {
+        self.entries.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the cache is sized for zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many samples have memoized inference at `level`.
+    pub fn cached_count(&self, level: usize) -> usize {
+        self.entries[level].iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The memoized logits of sample `i` at `level`, if that level was
+    /// ever reached by that sample.
+    pub fn logits(&self, level: usize, i: usize) -> Option<&Matrix> {
+        self.entries[level][i].as_ref().map(|e| &e.logits)
+    }
+
+    /// The memoized normalized entropy of sample `i` at `level`, if
+    /// available.
+    pub fn entropy(&self, level: usize, i: usize) -> Option<f32> {
+        self.entries[level][i].as_ref().map(|e| e.entropy)
+    }
+
+    /// Evaluates an effort ladder against `thresholds`, batching each
+    /// level's sweep over exactly the samples that reach it and are not
+    /// yet memoized.
+    ///
+    /// The gate matches [`EffortLadder::infer`] — strict `entropy <
+    /// thresholds[level]`, last level accepts everything — and inference
+    /// goes through [`forward_batch`](VisionTransformer::forward_batch),
+    /// so the statistics are bit-identical to the sequential
+    /// [`EffortLadder::evaluate`] for every parallelism, batch split and
+    /// prior cache state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model/threshold/sample counts do not match the cache
+    /// dimensions.
+    pub fn evaluate(
+        &mut self,
+        levels: &[VisionTransformer],
+        samples: &[Sample],
+        thresholds: &[f32],
+        par: Parallelism,
+    ) -> LadderStats {
+        assert_eq!(levels.len(), self.depth(), "level count mismatch");
+        assert_eq!(
+            thresholds.len(),
+            levels.len() - 1,
+            "need one threshold per gate (levels - 1)"
+        );
+        assert_eq!(
+            samples.len(),
+            self.len(),
+            "cache sized for a different sample set"
+        );
+
+        let mut active: Vec<usize> = (0..samples.len()).collect();
+        let mut exit_level = vec![0usize; samples.len()];
+        let mut correct = vec![false; samples.len()];
+        for (level, model) in levels.iter().enumerate() {
+            if active.is_empty() {
+                break;
+            }
+            let missing: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| self.entries[level][i].is_none())
+                .collect();
+            if !missing.is_empty() {
+                let images: Vec<&Sample> = missing.iter().map(|&i| &samples[i]).collect();
+                let logits = batched_logits_with(model, &images, |s| &s.image, par);
+                for (&i, logits) in missing.iter().zip(logits) {
+                    self.entries[level][i] = Some(LevelEntry {
+                        entropy: normalized_entropy(&logits),
+                        prediction: logits.row_argmax(0),
+                        logits,
+                    });
+                }
+            }
+            let is_last = level == levels.len() - 1;
+            let mut still_active = Vec::new();
+            for &i in &active {
+                let entry = self.entries[level][i].as_ref().expect("filled above");
+                if is_last || entry.entropy < thresholds[level] {
+                    exit_level[i] = level;
+                    correct[i] = entry.prediction == samples[i].label;
+                } else {
+                    still_active.push(i);
+                }
+            }
+            active = still_active;
+        }
+
+        let mut stats = LadderStats {
+            per_level: vec![(0, 0); levels.len()],
+        };
+        for i in 0..samples.len() {
+            let entry = &mut stats.per_level[exit_level[i]];
+            entry.0 += 1;
+            entry.1 += correct[i] as usize;
         }
         stats
     }
@@ -264,6 +448,89 @@ mod tests {
         let stats = ladder.evaluate(&samples(9));
         let m = stats.mean_inferences();
         assert!((1.0..=3.0).contains(&m), "mean inferences {m}");
+    }
+
+    #[test]
+    fn cached_evaluation_matches_sequential_reference() {
+        let ms = models(12);
+        let set = samples(13);
+        for ths in [[0.0, 0.0], [0.4, 0.7], [1.0, 1.0]] {
+            let ladder = EffortLadder::new(ms.clone(), ths.to_vec());
+            let reference = ladder.evaluate(&set);
+            for par in [Parallelism::Off, Parallelism::Fixed(3)] {
+                let batched = ladder.evaluate_batched(&set, par);
+                assert_eq!(reference, batched, "thresholds {ths:?} under {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_across_threshold_sweep() {
+        let ms = models(14);
+        let set = samples(15);
+        let ladder = EffortLadder::new(ms, vec![0.5, 0.8]);
+        let mut cache = ladder.cache(set.len());
+        assert_eq!(cache.depth(), 3);
+        assert_eq!(cache.len(), set.len());
+
+        // A fully permissive bottom gate touches only level 0.
+        let loose = cache.evaluate(ladder.levels(), &set, &[1.0, 1.0], Parallelism::Off);
+        let loose_ladder = EffortLadder::new(ladder.levels().to_vec(), vec![1.0, 1.0]);
+        assert_eq!(loose, loose_ladder.evaluate(&set));
+        assert_eq!(cache.cached_count(0), set.len());
+        assert_eq!(cache.cached_count(1), 0);
+
+        // Tightening to zero escalates everything, populating the upper
+        // levels while reusing every level-0 entry.
+        let level0_bits: Vec<u32> = (0..set.len())
+            .map(|i| cache.entropy(0, i).expect("level 0 filled").to_bits())
+            .collect();
+        let tight = cache.evaluate(ladder.levels(), &set, &[0.0, 0.0], Parallelism::Off);
+        let tight_ladder = EffortLadder::new(ladder.levels().to_vec(), vec![0.0, 0.0]);
+        assert_eq!(tight, tight_ladder.evaluate(&set));
+        assert_eq!(cache.cached_count(1), set.len());
+        assert_eq!(cache.cached_count(2), set.len());
+        for (i, &bits) in level0_bits.iter().enumerate() {
+            assert_eq!(cache.entropy(0, i).expect("still filled").to_bits(), bits);
+        }
+
+        // A repeat evaluation answers entirely from the memo.
+        let again = cache.evaluate(ladder.levels(), &set, &[0.0, 0.0], Parallelism::Off);
+        assert_eq!(tight, again);
+    }
+
+    #[test]
+    fn cached_entries_match_direct_inference() {
+        let ms = models(16);
+        let set = samples(17);
+        let ladder = EffortLadder::new(ms, vec![0.0, 0.0]);
+        let mut cache = ladder.cache(set.len());
+        cache.evaluate(
+            ladder.levels(),
+            &set,
+            ladder.thresholds(),
+            Parallelism::Fixed(2),
+        );
+        for (level, model) in ladder.levels().iter().enumerate() {
+            for (i, s) in set.iter().enumerate() {
+                let direct = model.infer(&s.image);
+                assert_eq!(cache.logits(level, i), Some(&direct));
+                assert_eq!(
+                    cache.entropy(level, i).expect("filled").to_bits(),
+                    pivot_nn::normalized_entropy(&direct).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different sample set")]
+    fn cache_rejects_mismatched_sample_count() {
+        let ms = models(18);
+        let set = samples(19);
+        let ladder = EffortLadder::new(ms, vec![0.4, 0.7]);
+        let mut cache = ladder.cache(set.len() + 1);
+        ladder.evaluate_cached(&set, &mut cache, Parallelism::Off);
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`] and the
 //! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
 //! warmed up, then timed over `sample_size` samples; the mean, median and
-//! minimum per-iteration times are printed to stdout. There are no plots,
+//! minimum per-iteration times are printed to stdout and recorded as
+//! [`BenchResult`]s, which [`Criterion::save_json`] can persist for
+//! machine consumption (e.g. `BENCH_matmul.json`). There are no plots,
 //! baselines or statistical regressions — this is a measurement harness,
 //! not an analysis suite.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benched work.
@@ -34,10 +37,28 @@ impl Bencher {
     }
 }
 
+/// One benchmark's recorded timings, all in seconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` of the benchmark.
+    pub name: String,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Median sample.
+    pub median_s: f64,
+    /// Mean over all samples.
+    pub mean_s: f64,
+    /// Number of timed samples collected.
+    pub sample_size: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     warmup: Duration,
     default_sample_size: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -45,6 +66,7 @@ impl Default for Criterion {
         Self {
             warmup: Duration::from_millis(300),
             default_sample_size: 20,
+            results: Vec::new(),
         }
     }
 }
@@ -115,7 +137,54 @@ impl Criterion {
             sample_size,
             iters
         );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            min_s: min,
+            median_s: median,
+            mean_s: mean,
+            sample_size,
+            iters,
+        });
     }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the recorded results to `path` as a JSON array of
+    /// `{name, min_s, median_s, mean_s, sample_size, iters}` objects.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"min_s\": {:e}, \"median_s\": {:e}, \"mean_s\": {:e}, \"sample_size\": {}, \"iters\": {}}}{sep}\n",
+                json_escape(&r.name),
+                r.min_s,
+                r.median_s,
+                r.mean_s,
+                r.sample_size,
+                r.iters
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)?;
+        println!("results written to {}", path.display());
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named set of benchmarks sharing a sample size.
@@ -207,10 +276,42 @@ mod tests {
     }
 
     #[test]
+    fn results_are_recorded_and_serialized() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            default_sample_size: 2,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("first", |b| b.iter(|| 1 + 1));
+        group.bench_function("second", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].name, "g/first");
+        assert!(c.results()[0].min_s <= c.results()[0].median_s);
+
+        let path = std::env::temp_dir().join("criterion_shim_results_test.json");
+        c.save_json(&path).expect("write json");
+        let json = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        assert!(json.starts_with('['), "not a JSON array: {json}");
+        assert!(json.contains("\"name\": \"g/second\""));
+        assert!(json.contains("\"sample_size\": 2"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
     fn group_runs_benchmarks() {
         let mut c = Criterion {
             warmup: Duration::from_millis(1),
             default_sample_size: 3,
+            results: Vec::new(),
         };
         let mut group = c.benchmark_group("shim");
         group.sample_size(2);

@@ -104,6 +104,28 @@ impl EncoderBlock {
         self.infer_traced(x).mlp_out
     }
 
+    /// Batched inference over samples stacked along rows (`tokens` rows
+    /// each). Layer norms and the MLP are row-wise and run directly on the
+    /// stack; attention goes through
+    /// [`MultiHeadAttention::infer_batch`]. Bit-identical to per-sample
+    /// [`EncoderBlock::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens == 0` or `x.rows()` is not divisible by `tokens`.
+    pub fn infer_batch(&self, x: &Matrix, tokens: usize) -> Matrix {
+        let after_attn = if self.attention_active {
+            let mut a = self.attn.infer_batch(&self.ln1.infer(x), tokens);
+            a.add_scaled_in_place(x, 1.0);
+            a
+        } else {
+            x.clone()
+        };
+        let mut out = self.mlp.infer(&self.ln2.infer(&after_attn));
+        out.add_scaled_in_place(&after_attn, 1.0);
+        out
+    }
+
     /// Inference with ViTCOD-style sparsified attention (see
     /// [`MultiHeadAttention::infer_sparse`]). Honors the skip switch: a
     /// skipped attention stays skipped.
@@ -203,6 +225,20 @@ mod tests {
         enc.set_attention_active(false);
         let without = enc.infer(&x);
         assert!(!with_attn.approx_eq(&without, 1e-6));
+    }
+
+    #[test]
+    fn infer_batch_matches_per_sample_both_modes() {
+        for active in [true, false] {
+            let mut enc = block(7);
+            enc.set_attention_active(active);
+            let mut rng = Rng::new(8);
+            let a = Matrix::randn(4, 6, 1.0, &mut rng);
+            let b = Matrix::randn(4, 6, 1.0, &mut rng);
+            let batched = enc.infer_batch(&a.vcat(&b), 4);
+            assert_eq!(batched.slice_rows(0, 4), enc.infer(&a), "active={active}");
+            assert_eq!(batched.slice_rows(4, 8), enc.infer(&b), "active={active}");
+        }
     }
 
     #[test]

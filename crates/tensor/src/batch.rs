@@ -1,0 +1,230 @@
+//! Row-stacked sample batches.
+//!
+//! A [`Batch`] packs `len` equally-shaped sample matrices into one tall
+//! [`Matrix`] (samples stacked along rows). Because every row-wise kernel in
+//! the workspace (linear layers, layer norm, softmax, GELU) treats rows
+//! independently with a fixed per-row accumulation order, running a kernel on
+//! the stacked matrix is bit-identical to running it on each sample and
+//! restacking — that is what lets `forward_batch` fuse per-sample GEMMs into
+//! one wide GEMM without changing results.
+
+use crate::matrix::Matrix;
+
+/// A batch of `len` samples, each `rows_per_sample x cols`, stored stacked
+/// along rows in a single dense matrix.
+///
+/// Sample `i` occupies rows `i * rows_per_sample .. (i + 1) * rows_per_sample`
+/// of [`Batch::as_matrix`].
+///
+/// # Example
+///
+/// ```
+/// use pivot_tensor::{Batch, Matrix};
+///
+/// let a = Matrix::filled(2, 3, 1.0);
+/// let b = Matrix::filled(2, 3, 2.0);
+/// let batch = Batch::from_samples(&[a.clone(), b.clone()]);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.as_matrix().shape(), (4, 3));
+/// assert_eq!(batch.sample(1), b);
+/// assert_eq!(batch.unstack(), vec![a, b]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    data: Matrix,
+    rows_per_sample: usize,
+    len: usize,
+}
+
+impl Batch {
+    /// Stacks equally-shaped samples along rows.
+    ///
+    /// An empty slice yields an empty batch (`len() == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples do not all share one shape.
+    pub fn from_samples(samples: &[Matrix]) -> Self {
+        let Some(first) = samples.first() else {
+            return Self {
+                data: Matrix::zeros(0, 0),
+                rows_per_sample: 0,
+                len: 0,
+            };
+        };
+        let (rows, cols) = first.shape();
+        let mut data = Matrix::zeros(rows * samples.len(), cols);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(
+                s.shape(),
+                (rows, cols),
+                "batch sample {i} shape mismatch: {:?} vs {:?}",
+                s.shape(),
+                (rows, cols)
+            );
+            data.rows_mut(i * rows, (i + 1) * rows)
+                .copy_from_slice(s.as_slice());
+        }
+        Self {
+            data,
+            rows_per_sample: rows,
+            len: samples.len(),
+        }
+    }
+
+    /// Wraps an already-stacked matrix as a batch of
+    /// `data.rows() / rows_per_sample` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_sample == 0` (unless `data` is empty) or if
+    /// `data.rows()` is not divisible by `rows_per_sample`.
+    pub fn from_matrix(data: Matrix, rows_per_sample: usize) -> Self {
+        if data.rows() == 0 {
+            return Self {
+                data,
+                rows_per_sample,
+                len: 0,
+            };
+        }
+        assert!(rows_per_sample > 0, "rows_per_sample must be positive");
+        assert_eq!(
+            data.rows() % rows_per_sample,
+            0,
+            "batch rows {} not divisible by rows_per_sample {}",
+            data.rows(),
+            rows_per_sample
+        );
+        let len = data.rows() / rows_per_sample;
+        Self {
+            data,
+            rows_per_sample,
+            len,
+        }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows occupied by each sample.
+    pub fn rows_per_sample(&self) -> usize {
+        self.rows_per_sample
+    }
+
+    /// Columns of every sample.
+    pub fn cols(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// The underlying stacked matrix (samples along rows).
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Consumes the batch, returning the stacked matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.data
+    }
+
+    /// Row range of sample `i` within the stacked matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample_rows(&self, i: usize) -> std::ops::Range<usize> {
+        assert!(i < self.len, "sample index {i} out of range {}", self.len);
+        i * self.rows_per_sample..(i + 1) * self.rows_per_sample
+    }
+
+    /// Copies sample `i` out as its own matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> Matrix {
+        let r = self.sample_rows(i);
+        self.data.slice_rows(r.start, r.end)
+    }
+
+    /// Splits the batch back into per-sample matrices.
+    pub fn unstack(&self) -> Vec<Matrix> {
+        (0..self.len).map(|i| self.sample(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let samples: Vec<Matrix> = (0..3)
+            .map(|i| Matrix::from_fn(2, 4, |r, c| (i * 8 + r * 4 + c) as f32))
+            .collect();
+        let batch = Batch::from_samples(&samples);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.rows_per_sample(), 2);
+        assert_eq!(batch.cols(), 4);
+        assert_eq!(batch.unstack(), samples);
+        assert_eq!(batch.sample_rows(2), 4..6);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = Batch::from_samples(&[]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.unstack(), Vec::<Matrix>::new());
+    }
+
+    #[test]
+    fn single_sample_batch_matches_sample() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let batch = Batch::from_samples(std::slice::from_ref(&m));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.as_matrix(), &m);
+        assert_eq!(batch.sample(0), m);
+    }
+
+    #[test]
+    fn from_matrix_splits_rows() {
+        let stacked = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        let batch = Batch::from_matrix(stacked.clone(), 3);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.sample(0), stacked.slice_rows(0, 3));
+        assert_eq!(batch.sample(1), stacked.slice_rows(3, 6));
+        assert_eq!(batch.clone().into_matrix(), stacked);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_samples_panic() {
+        let _ = Batch::from_samples(&[Matrix::zeros(2, 3), Matrix::zeros(3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_rows_panic() {
+        let _ = Batch::from_matrix(Matrix::zeros(5, 2), 3);
+    }
+
+    #[test]
+    fn row_wise_kernel_on_stack_is_bit_identical_to_per_sample() {
+        // The core batching invariant: a row-wise GEMM over the stacked
+        // matrix equals per-sample GEMMs, bitwise.
+        let mut rng = crate::Rng::new(5);
+        let samples: Vec<Matrix> = (0..4).map(|_| Matrix::randn(3, 6, 1.0, &mut rng)).collect();
+        let w = Matrix::randn(6, 5, 1.0, &mut rng);
+        let batch = Batch::from_samples(&samples);
+        let wide = Batch::from_matrix(batch.as_matrix().matmul(&w), 3);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(wide.sample(i), s.matmul(&w), "sample {i} diverged");
+        }
+    }
+}

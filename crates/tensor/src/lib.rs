@@ -23,12 +23,14 @@
 
 #![deny(missing_docs)]
 
+mod batch;
 mod matrix;
 mod ops;
 mod quant;
 mod rng;
 
-pub use matrix::Matrix;
+pub use batch::Batch;
+pub use matrix::{Matrix, MATMUL_TILE};
 pub use ops::{erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place};
 pub use quant::{QuantParams, Quantized};
 pub use rng::Rng;
@@ -39,6 +41,7 @@ mod thread_safety {
 
     #[test]
     fn core_types_are_send_and_sync() {
+        assert_send_sync::<crate::Batch>();
         assert_send_sync::<crate::Matrix>();
         assert_send_sync::<crate::QuantParams>();
         assert_send_sync::<crate::Quantized>();

@@ -4,6 +4,16 @@ use crate::rng::Rng;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 
+/// Tile edge used by the blocked matmul kernels.
+///
+/// 32 rows of f32 at ViT widths (64–1536 columns) keep one tile of the
+/// streamed operand plus a block of output rows inside a typical 256 KiB
+/// L2 while staying comfortably under L1 for the small test configs. The
+/// accumulation order of every kernel is independent of this constant
+/// (ascending `k` per output element), so changing it cannot change
+/// results — only speed.
+pub const MATMUL_TILE: usize = 32;
+
 /// A dense, row-major `f32` matrix.
 ///
 /// `Matrix` is the single tensor type used across the PIVOT workspace.
@@ -185,6 +195,35 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Borrow of the contiguous row range `start..end` as a flat slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn rows_slice(&self, start: usize, end: usize) -> &[f32] {
+        assert!(
+            start <= end && end <= self.rows,
+            "row range {start}..{end} out of bounds ({} rows)",
+            self.rows
+        );
+        &self.data[start * self.cols..end * self.cols]
+    }
+
+    /// Mutable borrow of the contiguous row range `start..end` as a flat
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn rows_mut(&mut self, start: usize, end: usize) -> &mut [f32] {
+        assert!(
+            start <= end && end <= self.rows,
+            "row range {start}..{end} out of bounds ({} rows)",
+            self.rows
+        );
+        &mut self.data[start * self.cols..end * self.cols]
+    }
+
     /// Copies column `c` into a new vector.
     ///
     /// # Panics
@@ -213,13 +252,28 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an ikj loop order with a row accumulator, which is cache-friendly
-    /// for the small-to-medium matrices used throughout the workspace.
+    /// Delegates to the blocked kernel ([`Self::matmul_into`]), which tiles
+    /// the row and reduction dimensions at [`MATMUL_TILE`] so the streamed
+    /// `rhs` block stays cache-resident across a block of output rows.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Reference ikj matmul with no blocking — the kernel the blocked
+    /// variant is validated against. Accumulates each output element in
+    /// ascending-`k` order with one scalar accumulator, the same fixed
+    /// order the blocked kernel uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -232,9 +286,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
                 let b_row = rhs.row(k);
                 for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                     *o += a_ik * b_kj;
@@ -244,6 +295,64 @@ impl Matrix {
         out
     }
 
+    /// Blocked/tiled matrix product `self * rhs` (see [`Self::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+
+    /// Blocked matrix product written into a caller-owned output buffer,
+    /// so hot loops (batched forwards, attention scores) can reuse one
+    /// allocation across calls.
+    ///
+    /// The kernel tiles output rows and the reduction dimension at
+    /// [`MATMUL_TILE`]; within a row block, a `MATMUL_TILE`-row panel of
+    /// `rhs` is streamed once and reused for every row of the block. Each
+    /// output element is accumulated in ascending-`k` order with a single
+    /// scalar accumulator, so the result is a pure function of the inputs
+    /// and the tile constant — bit-identical to [`Self::matmul_naive`] and
+    /// independent of how callers batch or parallelize around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() x rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for ii in (0..self.rows).step_by(MATMUL_TILE) {
+            let i_end = (ii + MATMUL_TILE).min(self.rows);
+            for kk in (0..self.cols).step_by(MATMUL_TILE) {
+                let k_end = (kk + MATMUL_TILE).min(self.cols);
+                for i in ii..i_end {
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (k, &a_ik) in a_row[kk..k_end].iter().enumerate() {
+                        let b_row = &rhs.data[(kk + k) * n..(kk + k + 1) * n];
+                        for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                            *o += a_ik * b_kj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Matrix product `self * rhs.transpose()` without materializing the
     /// transpose.
     ///
@@ -251,6 +360,22 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_b_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_b`] into a caller-owned output buffer.
+    ///
+    /// Output rows and `rhs` rows are tiled at [`MATMUL_TILE`] so a panel
+    /// of `rhs` stays cache-resident across a block of `self` rows; each
+    /// element is one ascending-`k` dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()` or `out` is not
+    /// `self.rows() x rhs.rows()`.
+    pub fn matmul_transpose_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.cols,
@@ -258,19 +383,29 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_transpose_b_into output shape mismatch"
+        );
+        let n = rhs.rows;
+        for ii in (0..self.rows).step_by(MATMUL_TILE) {
+            let i_end = (ii + MATMUL_TILE).min(self.rows);
+            for jj in (0..n).step_by(MATMUL_TILE) {
+                let j_end = (jj + MATMUL_TILE).min(n);
+                for i in ii..i_end {
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for j in jj..j_end {
+                        let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                        let mut acc = 0.0;
+                        for (&a, &b) in a_row.iter().zip(b_row) {
+                            acc += a * b;
+                        }
+                        out.data[i * n + j] = acc;
+                    }
                 }
-                out[(i, j)] = acc;
             }
         }
-        out
     }
 
     /// Matrix product `self.transpose() * rhs` without materializing the
@@ -280,6 +415,22 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_transpose_a_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_a`] into a caller-owned output buffer.
+    ///
+    /// The reduction runs over `self` rows in ascending order (dense inner
+    /// loops, no zero-skip branch — ViT activations are dense, and the
+    /// branch mispredicts more than it saves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()` or `out` is not
+    /// `self.cols() x rhs.cols()`.
+    pub fn matmul_transpose_a_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows,
@@ -287,21 +438,22 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_transpose_a_into output shape mismatch"
+        );
+        out.data.fill(0.0);
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
             for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                     *o += a_ki * b_kj;
                 }
             }
         }
-        out
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -652,6 +804,54 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        let mut rng = Rng::new(42);
+        // Sizes straddling the tile edge: smaller, equal, off-by-one, multi-tile.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (MATMUL_TILE, MATMUL_TILE, MATMUL_TILE),
+            (MATMUL_TILE + 1, MATMUL_TILE - 1, 2 * MATMUL_TILE + 3),
+            (70, 65, 33),
+        ] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let naive = a.matmul_naive(&b);
+            let blocked = a.matmul_blocked(&b);
+            assert_eq!(naive, blocked, "blocked differs from naive at {m}x{k}x{n}");
+            assert_eq!(a.matmul(&b), blocked);
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffer() {
+        let mut rng = Rng::new(9);
+        let a = Matrix::randn(7, 5, 1.0, &mut rng);
+        let b = Matrix::randn(5, 6, 1.0, &mut rng);
+        let mut out = Matrix::filled(7, 6, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul_naive(&b));
+
+        let mut out_tb = Matrix::filled(7, 7, -3.0);
+        a.matmul_transpose_b_into(&a, &mut out_tb);
+        assert_eq!(out_tb, a.matmul_transpose_b(&a));
+
+        let c = Matrix::randn(7, 6, 1.0, &mut rng);
+        let mut out_ta = Matrix::filled(5, 6, 1e30);
+        a.matmul_transpose_a_into(&c, &mut out_ta);
+        assert_eq!(out_ta, a.matmul_transpose_a(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_into output shape mismatch")]
+    fn matmul_into_output_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 5);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_shape_mismatch_panics() {
         let a = Matrix::zeros(2, 3);
@@ -791,6 +991,31 @@ mod prop_tests {
             let once = a.center_columns();
             let twice = once.center_columns();
             prop_assert!(once.approx_eq(&twice, 1e-4));
+        }
+
+        #[test]
+        fn prop_blocked_matmul_matches_naive(
+            a in arb_matrix(MATMUL_TILE + 3, MATMUL_TILE + 1),
+            b in arb_matrix(MATMUL_TILE + 1, 7),
+        ) {
+            // Determinism contract: blocked and naive kernels share one
+            // fixed accumulation order, so they agree exactly — and a
+            // fortiori within the 1e-5 contract tolerance.
+            let blocked = a.matmul_blocked(&b);
+            prop_assert_eq!(&blocked, &a.matmul_naive(&b));
+            prop_assert!(blocked.approx_eq(&a.matmul_naive(&b), 1e-5));
+        }
+
+        #[test]
+        fn prop_transpose_kernels_match_naive(
+            a in arb_matrix(MATMUL_TILE + 2, 6),
+            c in arb_matrix(MATMUL_TILE + 5, 6),
+            d in arb_matrix(MATMUL_TILE + 2, 5),
+        ) {
+            let tb = a.matmul_transpose_b(&c);
+            prop_assert!(tb.approx_eq(&a.matmul_naive(&c.transpose()), 1e-4));
+            let ta = a.matmul_transpose_a(&d);
+            prop_assert!(ta.approx_eq(&a.transpose().matmul_naive(&d), 1e-4));
         }
 
         #[test]
