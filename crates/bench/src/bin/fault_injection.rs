@@ -1,0 +1,51 @@
+//! Accuracy-under-fault curves: the hardened entropy cascade (graceful
+//! degradation to the cached low-effort prediction, DESIGN.md §5) vs. a
+//! naive single full-effort ViT whose non-finite outputs are simply lost.
+//! Also demonstrates that byte-corrupted PVIT2 checkpoints are rejected
+//! with typed errors. Fully deterministic from the fixed seed.
+//!
+//! `fault_injection smoke` runs a reduced sweep for CI.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let (n_samples, counts): (usize, &[usize]) = if smoke {
+        (18, &[0, 8, 4096])
+    } else {
+        (120, &[0, 1, 4, 16, 64, 4096])
+    };
+    let report = pivot_bench::experiments::fault_injection(n_samples, counts, 42);
+
+    assert!(
+        report.corrupt_checkpoints_rejected,
+        "a corrupted checkpoint was loaded silently"
+    );
+    // The contract the curves must show: wherever the baseline loses
+    // samples to non-finite logits, the cascade serves every sample and
+    // never does worse.
+    for p in &report.points {
+        if p.baseline_non_finite > 0 {
+            assert!(
+                p.cascade_fallbacks > 0,
+                "{} x{}: baseline lost samples but the cascade never fell back",
+                p.kind.label(),
+                p.n_faults
+            );
+            assert!(
+                p.cascade_accuracy >= p.baseline_accuracy,
+                "{} x{}: degraded cascade ({:.3}) below baseline ({:.3})",
+                p.kind.label(),
+                p.n_faults,
+                p.cascade_accuracy,
+                p.baseline_accuracy
+            );
+        }
+        if p.n_faults == 0 {
+            assert_eq!(p.cascade_accuracy, report.healthy_cascade_accuracy);
+            assert_eq!(p.cascade_fallbacks, 0);
+        }
+    }
+    println!(
+        "\ngraceful degradation verified: healthy accuracy {:.3}; \
+         faulted-low escalations {}; corrupt checkpoints rejected",
+        report.healthy_cascade_accuracy, report.low_fault_escalations
+    );
+}

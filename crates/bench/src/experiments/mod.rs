@@ -8,6 +8,7 @@ mod ablations;
 mod accuracy;
 mod analysis;
 mod delay;
+mod faults;
 mod gpp;
 mod parallel;
 
@@ -18,6 +19,7 @@ pub use ablations::{
 pub use accuracy::{table2, table3, table4, ComparisonRow, EffortTableRow};
 pub use analysis::{fig3a, fig4a, fig4b, fig4c, fig8, fig9, LecPoint, PathAccuracyPoint};
 pub use delay::{fig1b, fig6a, fig6b, DelayShare, EnergyReduction};
+pub use faults::{fault_injection, FaultReport, FaultSweepPoint};
 pub use gpp::{fig1c, fig7, GppMethodResult};
 pub use parallel::{parallel_speedup, ParallelSpeedup};
 

@@ -28,6 +28,58 @@ use pivot_nn::normalized_entropies;
 use pivot_tensor::Matrix;
 use pivot_vit::VisionTransformer;
 
+/// One sample that produced non-finite values during a guarded evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Index of the affected sample, in evaluation order.
+    pub sample: usize,
+    /// Effort level whose logits were non-finite (0 = low, 1 = high for
+    /// the two-level cascade; ladder levels for [`LadderCache`]).
+    ///
+    /// [`LadderCache`]: crate::multilevel::LadderCache
+    pub level: usize,
+    /// The effort level whose prediction was served instead, or `None`
+    /// when no fallback prediction was substituted — either the faulty
+    /// level was not the serving one (a faulted low effort whose sample
+    /// escalated to a healthy high effort), or every visited level was
+    /// faulty and the exit level's own prediction stood.
+    pub served_by: Option<usize>,
+}
+
+/// Fault accounting for one guarded evaluation: which samples hit
+/// non-finite values, at which effort level, and who served them instead.
+///
+/// An empty report means the evaluation was fault-free and its statistics
+/// are bit-identical to the unguarded path (DESIGN.md §5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Every degradation event, in sample order.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// Whether the evaluation was completely fault-free.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of degradation events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of samples served by a fallback prediction (the faulty level
+    /// was the serving one and an earlier level's prediction stood in).
+    pub fn fallbacks(&self) -> usize {
+        self.events.iter().filter(|e| e.served_by.is_some()).count()
+    }
+
+    /// Number of events whose non-finite logits came from `level`.
+    pub fn non_finite_at(&self, level: usize) -> usize {
+        self.events.iter().filter(|e| e.level == level).count()
+    }
+}
+
 /// Cached low-effort inference over one sample set.
 ///
 /// # Example
@@ -157,6 +209,37 @@ impl CascadeCache {
         threshold: f32,
         par: Parallelism,
     ) -> CascadeStats {
+        self.evaluate_guarded(high, samples, threshold, par).0
+    }
+
+    /// [`Self::evaluate`] with fault accounting (DESIGN.md §5).
+    ///
+    /// Degradation contract:
+    ///
+    /// * A **low-effort fault** surfaces as a non-finite cached entropy;
+    ///   [`stays_low`] escalates it at every threshold, so the high effort
+    ///   serves the sample (event with `served_by: None` — no fallback was
+    ///   needed, escalation itself was the recovery).
+    /// * A **high-effort fault** surfaces as non-finite high logits; the
+    ///   cached low-effort prediction is served instead (event with
+    ///   `served_by: Some(0)`). The sample stays counted under `n_high` —
+    ///   the high-effort cost was spent — with the fallback prediction's
+    ///   correctness, so `n_high == c_high + i_high` still holds.
+    ///
+    /// For healthy models the report is empty and the statistics are
+    /// bit-identical to the unguarded history of this engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not the set the cache was built from (length
+    /// check).
+    pub fn evaluate_guarded(
+        &self,
+        high: &VisionTransformer,
+        samples: &[Sample],
+        threshold: f32,
+        par: Parallelism,
+    ) -> (CascadeStats, DegradationReport) {
         assert_eq!(
             samples.len(),
             self.len(),
@@ -165,16 +248,41 @@ impl CascadeCache {
         let escalated = self.escalated(threshold);
         let escalated_samples: Vec<&Sample> = escalated.iter().map(|&i| &samples[i]).collect();
         let high_logits = batched_logits_with(high, &escalated_samples, |s| &s.image, par);
+        let high_finite: Vec<bool> = high_logits.iter().map(|l| l.is_all_finite()).collect();
         let high_correct: Vec<bool> = escalated
             .iter()
             .zip(&high_logits)
-            .map(|(&i, logits)| logits.row_argmax(0) == samples[i].label)
+            .zip(&high_finite)
+            .map(|((&i, logits), &finite)| {
+                if finite {
+                    logits.row_argmax(0) == samples[i].label
+                } else {
+                    // Graceful degradation: serve the cached low-effort
+                    // prediction instead of garbage argmax over NaNs.
+                    self.low_predictions[i] == samples[i].label
+                }
+            })
             .collect();
 
         let mut stats = CascadeStats::default();
+        let mut report = DegradationReport::default();
         let mut next_escalated = 0;
         for (i, sample) in samples.iter().enumerate() {
             if next_escalated < escalated.len() && escalated[next_escalated] == i {
+                if !self.entropies[i].is_finite() {
+                    report.events.push(DegradationEvent {
+                        sample: i,
+                        level: 0,
+                        served_by: None,
+                    });
+                }
+                if !high_finite[next_escalated] {
+                    report.events.push(DegradationEvent {
+                        sample: i,
+                        level: 1,
+                        served_by: Some(0),
+                    });
+                }
                 stats.n_high += 1;
                 if high_correct[next_escalated] {
                     stats.c_high += 1;
@@ -191,7 +299,7 @@ impl CascadeCache {
                 }
             }
         }
-        stats
+        (stats, report)
     }
 }
 
@@ -296,6 +404,76 @@ mod tests {
             let cached = cache.evaluate(&high, &set, th, Parallelism::Fixed(3));
             assert_eq!(direct, cached, "Th={th}");
         }
+    }
+
+    #[test]
+    fn guarded_evaluation_is_fault_free_on_healthy_models() {
+        let low = model(15, &[0]);
+        let high = model(16, &[0, 1]);
+        let set = samples(16, 17);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        for th in [0.0, 0.5, 1.0] {
+            let (stats, report) = cache.evaluate_guarded(&high, &set, th, Parallelism::Off);
+            assert!(report.is_empty(), "healthy models must not degrade");
+            assert_eq!(stats, cache.evaluate(&high, &set, th, Parallelism::Off));
+        }
+    }
+
+    #[test]
+    fn faulted_high_effort_falls_back_to_cached_low_predictions() {
+        let low = model(18, &[0]);
+        let mut high = model(19, &[0, 1]);
+        crate::faults::FaultInjector::new(20).inject_params(
+            &mut high,
+            crate::faults::FaultKind::StuckNan,
+            10_000,
+        );
+        let set = samples(12, 21);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        // Th = 0 escalates everything into the faulted high effort.
+        let (stats, report) = cache.evaluate_guarded(&high, &set, 0.0, Parallelism::Off);
+        assert_eq!(stats.n_high, set.len());
+        assert_eq!(stats.n_high, stats.c_high + stats.i_high);
+        assert_eq!(report.fallbacks(), set.len(), "every sample must fall back");
+        assert_eq!(report.non_finite_at(1), set.len());
+        assert_eq!(report.non_finite_at(0), 0);
+        // The served accuracy is exactly the low effort's accuracy — the
+        // fallback predictions are the cached ones.
+        let low_correct = set
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| cache.low_prediction(*i) == s.label)
+            .count();
+        assert_eq!(stats.c_high, low_correct);
+        for e in &report.events {
+            assert_eq!(e.served_by, Some(0));
+        }
+    }
+
+    #[test]
+    fn faulted_low_effort_escalates_and_is_reported() {
+        let mut low = model(22, &[0]);
+        crate::faults::FaultInjector::new(23).inject_params(
+            &mut low,
+            crate::faults::FaultKind::StuckNan,
+            10_000,
+        );
+        let high = model(24, &[0, 1]);
+        let set = samples(10, 25);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        assert!(cache.entropies().iter().all(|e| !e.is_finite()));
+        // Even at the inclusive Th = 1.0 boundary, faulted samples escalate
+        // so the healthy high effort can serve them.
+        let (stats, report) = cache.evaluate_guarded(&high, &set, 1.0, Parallelism::Off);
+        assert_eq!(stats.n_high, set.len());
+        assert_eq!(report.non_finite_at(0), set.len());
+        assert_eq!(report.fallbacks(), 0, "escalation is the recovery");
+        // The healthy high effort serves its own (real) predictions.
+        let high_correct = set
+            .iter()
+            .filter(|s| high.infer(&s.image).row_argmax(0) == s.label)
+            .count();
+        assert_eq!(stats.c_high, high_correct);
     }
 
     #[test]

@@ -14,12 +14,15 @@ use pivot_vit::VisionTransformer;
 /// The gate is the paper's strict `E(x) < Th` everywhere except the top
 /// boundary: at `Th = 1.0` it is inclusive, so `F_L = 1` holds even for
 /// exactly uniform logits whose normalized entropy is 1.0 (or a float ulp
-/// above). Every gating site — [`MultiEffortVit::infer`],
-/// [`MultiEffortVit::f_low_at`], [`CascadeCache`](crate::CascadeCache) and
-/// Phase 2's threshold iteration — uses this one function, so the
-/// boundary semantics cannot drift apart.
+/// above). A **non-finite** entropy — the fault signature of corrupted
+/// low-effort logits (see [`pivot_nn::normalized_entropy`]) — never stays
+/// low, even at `Th = 1.0`: a faulted low effort must escalate so the high
+/// effort gets a chance to serve the sample. Every gating site —
+/// [`MultiEffortVit::infer`], [`MultiEffortVit::f_low_at`],
+/// [`CascadeCache`](crate::CascadeCache) and Phase 2's threshold iteration
+/// — uses this one function, so the boundary semantics cannot drift apart.
 pub fn stays_low(entropy: f32, threshold: f32) -> bool {
-    entropy < threshold || threshold >= 1.0
+    entropy.is_finite() && (entropy < threshold || threshold >= 1.0)
 }
 
 /// Outcome of one cascaded inference.
@@ -31,6 +34,10 @@ pub struct CascadeOutcome {
     pub entropy_low: f32,
     /// Whether the high effort had to re-infer this input.
     pub used_high: bool,
+    /// Whether the high effort produced non-finite logits and the cascade
+    /// fell back to the already-computed low-effort prediction (graceful
+    /// degradation; see DESIGN.md §5).
+    pub degraded: bool,
     /// Logits of whichever effort produced the prediction.
     pub logits: Matrix,
 }
@@ -212,6 +219,13 @@ impl MultiEffortVit {
     }
 
     /// Runs the input-difficulty-aware inference of Fig. 2a on one image.
+    ///
+    /// The cascade degrades gracefully: if the high-effort re-inference
+    /// yields non-finite logits (a faulted model), the already-computed
+    /// low-effort prediction is served instead and the outcome is marked
+    /// [`degraded`](CascadeOutcome::degraded). Healthy models never take
+    /// this path, so results are bit-identical to the pre-degradation
+    /// engine.
     pub fn infer(&self, image: &Matrix) -> CascadeOutcome {
         let logits_low = self.low.infer(image);
         let entropy_low = normalized_entropy(&logits_low);
@@ -220,15 +234,27 @@ impl MultiEffortVit {
                 prediction: logits_low.row_argmax(0),
                 entropy_low,
                 used_high: false,
+                degraded: false,
                 logits: logits_low,
             }
         } else {
             let logits_high = self.high.infer(image);
-            CascadeOutcome {
-                prediction: logits_high.row_argmax(0),
-                entropy_low,
-                used_high: true,
-                logits: logits_high,
+            if logits_high.is_all_finite() {
+                CascadeOutcome {
+                    prediction: logits_high.row_argmax(0),
+                    entropy_low,
+                    used_high: true,
+                    degraded: false,
+                    logits: logits_high,
+                }
+            } else {
+                CascadeOutcome {
+                    prediction: logits_low.row_argmax(0),
+                    entropy_low,
+                    used_high: true,
+                    degraded: true,
+                    logits: logits_low,
+                }
             }
         }
     }
@@ -263,6 +289,23 @@ impl MultiEffortVit {
             samples,
             self.threshold,
             par,
+        )
+    }
+
+    /// [`Self::evaluate`] with fault accounting: returns the statistics
+    /// together with a [`DegradationReport`](crate::DegradationReport)
+    /// describing every sample that produced non-finite values and how it
+    /// was served. For healthy models the report is empty and the
+    /// statistics are bit-identical to [`Self::evaluate`].
+    pub fn evaluate_guarded(
+        &self,
+        samples: &[Sample],
+    ) -> (CascadeStats, crate::cache::DegradationReport) {
+        CascadeCache::build(&self.low, samples, self.parallelism).evaluate_guarded(
+            &self.high,
+            samples,
+            self.threshold,
+            self.parallelism,
         )
     }
 
@@ -439,6 +482,43 @@ mod tests {
         assert!(!stays_low(0.0, 0.0));
         assert!(stays_low(1.0, 1.0));
         assert!(stays_low(1.0 + f32::EPSILON, 1.0));
+    }
+
+    #[test]
+    fn non_finite_entropy_always_escalates() {
+        // A NaN entropy is the fault signature of corrupted low-effort
+        // logits; the gate must escalate it at every threshold, including
+        // the otherwise-inclusive Th = 1.0.
+        for th in [0.0, 0.5, 1.0] {
+            assert!(!stays_low(f32::NAN, th), "NaN stayed low at Th={th}");
+            assert!(!stays_low(f32::INFINITY, th), "inf stayed low at Th={th}");
+        }
+    }
+
+    #[test]
+    fn faulted_high_effort_degrades_to_the_low_prediction() {
+        let (low, high) = models(50);
+        let mut faulty_high = high.clone();
+        crate::faults::FaultInjector::new(51).inject_params(
+            &mut faulty_high,
+            crate::faults::FaultKind::StuckNan,
+            10_000,
+        );
+        // Th = 0 escalates everything, so every sample exercises the
+        // faulted high effort.
+        let healthy = MultiEffortVit::new(low.clone(), high, 0.0);
+        let degraded = MultiEffortVit::new(low.clone(), faulty_high, 0.0);
+        let set = samples(10, 52);
+        for s in &set {
+            let out = degraded.infer(&s.image);
+            assert!(out.used_high, "Th=0 must escalate");
+            assert!(out.degraded, "NaN high logits must mark degradation");
+            // The served prediction is the low effort's, not garbage.
+            assert_eq!(out.prediction, low.infer(&s.image).row_argmax(0));
+            assert!(out.logits.is_all_finite());
+            // A healthy cascade on the same input does not degrade.
+            assert!(!healthy.infer(&s.image).degraded);
+        }
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The workspace-level structured error type.
+//!
+//! Lower crates define their own narrow error types near the code that can
+//! fail — `pivot_vit::CheckpointError` for checkpoint I/O,
+//! `pivot_vit::ConfigError` / `pivot_sim::ConfigError` for configuration
+//! validation, `pivot_tensor::NonFiniteError` for tensor health — and
+//! [`PivotError`] unifies them at the top of the dependency graph so
+//! pipeline callers handle one type. Panicking `validate()` wrappers remain
+//! on every config type for API compatibility; the `try_validate()` /
+//! `Result` paths never panic on malformed input.
+
+use std::error::Error;
+use std::fmt;
+
+use pivot_tensor::NonFiniteError;
+use pivot_vit::CheckpointError;
+
+/// Any failure surfaced by the PIVOT pipeline and its fault-tolerance layer.
+#[derive(Debug)]
+pub enum PivotError {
+    /// A configuration failed validation.
+    InvalidConfig {
+        /// Which configuration (e.g. `"PipelineConfig"`).
+        context: String,
+        /// Why validation failed.
+        message: String,
+    },
+    /// A checkpoint could not be loaded or stored.
+    Checkpoint(CheckpointError),
+    /// A tensor that must be finite contained NaN/±inf values.
+    NonFinite(NonFiniteError),
+}
+
+impl fmt::Display for PivotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { context, message } => {
+                write!(f, "invalid {context}: {message}")
+            }
+            Self::Checkpoint(e) => write!(f, "{e}"),
+            Self::NonFinite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for PivotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::InvalidConfig { .. } => None,
+            Self::Checkpoint(e) => Some(e),
+            Self::NonFinite(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for PivotError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<NonFiniteError> for PivotError {
+    fn from(e: NonFiniteError) -> Self {
+        Self::NonFinite(e)
+    }
+}
+
+impl From<pivot_vit::ConfigError> for PivotError {
+    fn from(e: pivot_vit::ConfigError) -> Self {
+        Self::InvalidConfig {
+            context: "ViT config".to_string(),
+            message: e.reason().to_string(),
+        }
+    }
+}
+
+impl From<pivot_sim::ConfigError> for PivotError {
+    fn from(e: pivot_sim::ConfigError) -> Self {
+        Self::InvalidConfig {
+            context: "accelerator config".to_string(),
+            message: e.reason().to_string(),
+        }
+    }
+}
+
+impl PivotError {
+    /// Builds an [`PivotError::InvalidConfig`] from a context and reason.
+    pub fn invalid_config(context: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_tensor::Matrix;
+
+    #[test]
+    fn lower_crate_errors_convert() {
+        let m = Matrix::from_rows(&[&[f32::NAN, 1.0]]);
+        let nf = m.validate_finite("logits").unwrap_err();
+        let e: PivotError = nf.into();
+        assert!(e.to_string().contains("logits"));
+
+        let bad_cfg = pivot_vit::VitConfig {
+            patch_size: 0,
+            ..pivot_vit::VitConfig::test_small()
+        };
+        let e: PivotError = bad_cfg.try_validate().unwrap_err().into();
+        assert!(matches!(e, PivotError::InvalidConfig { .. }));
+        assert!(e.to_string().contains("ViT config"));
+
+        let bad_accel = pivot_sim::AcceleratorConfig {
+            pe_rows: 0,
+            ..pivot_sim::AcceleratorConfig::zcu102()
+        };
+        let e: PivotError = bad_accel.try_validate().unwrap_err().into();
+        assert!(e.to_string().contains("accelerator config"));
+    }
+
+    #[test]
+    fn checkpoint_errors_convert() {
+        let err = pivot_vit::VisionTransformer::load("/nonexistent/model.bin").unwrap_err();
+        let e: PivotError = err.into();
+        assert!(matches!(e, PivotError::Checkpoint(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic fault injection: bit flips, NaN and stuck-at faults.
+//!
+//! Edge accelerators hold quantized weights in SRAM and stream checkpoints
+//! over flaky links; single-event upsets, stuck cells and torn writes are
+//! routine. This module corrupts weights, activations and checkpoint bytes
+//! *reproducibly* — every fault position and pattern derives from the
+//! in-tree xoshiro [`Rng`], so an accuracy-under-fault curve (see the
+//! `fault_injection` experiment in `pivot-bench`) is replayable from a
+//! single seed.
+//!
+//! The injector is deliberately model-agnostic: it mutates `Matrix` buffers
+//! and parameter lists, and the degradation machinery in
+//! [`cascade`](crate::cascade) / [`multilevel`](crate::multilevel) is what
+//! turns the resulting non-finite logits into graceful fallbacks instead of
+//! aborts.
+
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::VisionTransformer;
+
+/// The hardware fault model applied to one `f32` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one uniformly chosen bit of the IEEE-754 representation — the
+    /// classic single-event-upset model. Exponent-bit flips produce huge or
+    /// non-finite values; mantissa flips produce small perturbations.
+    BitFlip,
+    /// The value reads back as NaN (e.g. a poisoned DMA descriptor).
+    StuckNan,
+    /// The cell is stuck at zero.
+    StuckZero,
+    /// The cell is stuck at the maximum representable magnitude, keeping
+    /// the original sign (saturated stuck-at-one on the exponent field).
+    StuckMax,
+}
+
+impl FaultKind {
+    /// All fault models, for sweeps.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::BitFlip,
+        FaultKind::StuckNan,
+        FaultKind::StuckZero,
+        FaultKind::StuckMax,
+    ];
+
+    /// Short label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::StuckNan => "stuck-nan",
+            FaultKind::StuckZero => "stuck-zero",
+            FaultKind::StuckMax => "stuck-max",
+        }
+    }
+}
+
+/// One injected fault, for reporting and replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedFault {
+    /// Index of the corrupted parameter tensor (for
+    /// [`FaultInjector::inject_params`]) or 0 for single-matrix injection.
+    pub param: usize,
+    /// Flat element index within the tensor.
+    pub index: usize,
+    /// Value before corruption.
+    pub before: f32,
+    /// Value after corruption.
+    pub after: f32,
+}
+
+/// Seeded source of reproducible faults.
+///
+/// Two injectors built from the same seed corrupt the same positions with
+/// the same patterns, independent of platform — the property the
+/// accuracy-under-fault experiment and CI smoke test rely on.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Corrupts one value under the given fault model.
+    pub fn corrupt_value(&mut self, x: f32, kind: FaultKind) -> f32 {
+        match kind {
+            FaultKind::BitFlip => f32::from_bits(x.to_bits() ^ (1u32 << self.rng.below(32))),
+            FaultKind::StuckNan => f32::NAN,
+            FaultKind::StuckZero => 0.0,
+            FaultKind::StuckMax => f32::MAX.copysign(if x == 0.0 { 1.0 } else { x }),
+        }
+    }
+
+    /// Injects `count` faults at uniformly chosen positions of a matrix.
+    ///
+    /// Positions are drawn independently (with replacement, like real
+    /// upsets). Returns the injected faults in order. A zero-sized matrix
+    /// receives no faults.
+    pub fn inject_matrix(
+        &mut self,
+        m: &mut Matrix,
+        kind: FaultKind,
+        count: usize,
+    ) -> Vec<InjectedFault> {
+        if m.is_empty() {
+            return Vec::new();
+        }
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let index = self.rng.below(m.len());
+            let before = m.as_slice()[index];
+            let after = self.corrupt_value(before, kind);
+            m.as_mut_slice()[index] = after;
+            faults.push(InjectedFault {
+                param: 0,
+                index,
+                before,
+                after,
+            });
+        }
+        faults
+    }
+
+    /// Injects `count` faults into a model's parameters, choosing positions
+    /// uniformly over *all* weights (larger tensors absorb proportionally
+    /// more faults, matching a physical SRAM fault model).
+    pub fn inject_params(
+        &mut self,
+        model: &mut VisionTransformer,
+        kind: FaultKind,
+        count: usize,
+    ) -> Vec<InjectedFault> {
+        let mut params = model.params_mut();
+        let sizes: Vec<usize> = params.iter().map(|p| p.value.len()).collect();
+        let total: usize = sizes.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut flat = self.rng.below(total);
+            let mut param = 0;
+            while flat >= sizes[param] {
+                flat -= sizes[param];
+                param += 1;
+            }
+            let before = params[param].value.as_slice()[flat];
+            let after = self.corrupt_value(before, kind);
+            params[param].value.as_mut_slice()[flat] = after;
+            faults.push(InjectedFault {
+                param,
+                index: flat,
+                before,
+                after,
+            });
+        }
+        faults
+    }
+
+    /// Corrupts `count` bytes of a serialized artifact (e.g. checkpoint
+    /// bytes) at uniformly chosen positions. Each corruption XORs a
+    /// non-zero mask, so the byte is guaranteed to change. Returns the
+    /// corrupted positions.
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8], count: usize) -> Vec<usize> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let mut positions = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pos = self.rng.below(bytes.len());
+            let mask = 1u8 + self.rng.below(255) as u8;
+            bytes[pos] ^= mask;
+            positions.push(pos);
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{par_map, Parallelism};
+    use pivot_vit::VitConfig;
+
+    fn model(seed: u64) -> VisionTransformer {
+        VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let mut a = model(1);
+        let mut b = model(1);
+        let fa = FaultInjector::new(42).inject_params(&mut a, FaultKind::BitFlip, 16);
+        let fb = FaultInjector::new(42).inject_params(&mut b, FaultKind::BitFlip, 16);
+        assert_eq!(fa, fb);
+        // The corrupted models agree bitwise on a forward pass.
+        let img = Matrix::zeros(16, 16);
+        assert_eq!(a.infer(&img), b.infer(&img));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = model(2);
+        let mut b = model(2);
+        let fa = FaultInjector::new(1).inject_params(&mut a, FaultKind::BitFlip, 8);
+        let fb = FaultInjector::new(2).inject_params(&mut b, FaultKind::BitFlip, 8);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn stuck_models_apply_their_pattern() {
+        let mut inj = FaultInjector::new(7);
+        assert!(inj.corrupt_value(1.5, FaultKind::StuckNan).is_nan());
+        assert_eq!(inj.corrupt_value(1.5, FaultKind::StuckZero), 0.0);
+        assert_eq!(inj.corrupt_value(-1.5, FaultKind::StuckMax), f32::MIN);
+        assert_eq!(inj.corrupt_value(1.5, FaultKind::StuckMax), f32::MAX);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(9);
+        for _ in 0..64 {
+            let x = 0.714f32;
+            let y = inj.corrupt_value(x, FaultKind::BitFlip);
+            assert_eq!((x.to_bits() ^ y.to_bits()).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_always_changes_the_byte() {
+        let original: Vec<u8> = (0..=255).collect();
+        let mut bytes = original.clone();
+        let positions = FaultInjector::new(3).corrupt_bytes(&mut bytes, 64);
+        assert_eq!(positions.len(), 64);
+        for &p in &positions {
+            assert_ne!(bytes[p], original[p], "byte {p} unchanged");
+        }
+    }
+
+    #[test]
+    fn nan_faults_reach_the_logits() {
+        // Saturating every parameter tensor with NaN guarantees the fault
+        // propagates to the output — the signal the cascade's degradation
+        // path keys on.
+        let mut m = model(4);
+        FaultInjector::new(5).inject_params(&mut m, FaultKind::StuckNan, 10_000);
+        let logits = m.infer(&Matrix::zeros(16, 16));
+        assert!(!logits.is_all_finite());
+    }
+
+    #[test]
+    fn saturation_counters_localize_int8_faults() {
+        let mut m = model(6);
+        m.set_quant_mode(pivot_nn::QuantMode::Int8);
+        assert_eq!(m.total_weight_saturation(), 0);
+        FaultInjector::new(8).inject_params(&mut m, FaultKind::StuckNan, 12);
+        let total = m.total_weight_saturation();
+        assert!(total > 0, "injected NaNs must register as saturation");
+        assert!(total <= 12);
+        // The per-layer report pins the damage to specific layers.
+        let layered: usize = m.quant_saturation_report().iter().map(|(_, n)| n).sum();
+        assert_eq!(layered, total);
+    }
+
+    /// The worker pool must survive a fault-injected forward that panics
+    /// inside `par_map` and stay usable for subsequent healthy work.
+    #[test]
+    fn worker_pool_survives_fault_induced_panics() {
+        let mut faulty = model(10);
+        FaultInjector::new(11).inject_params(&mut faulty, FaultKind::StuckNan, 10_000);
+        let images: Vec<Matrix> = (0..8).map(|_| Matrix::zeros(16, 16)).collect();
+
+        let faulty_ref = &faulty;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&images, Parallelism::Fixed(4), |_, img| {
+                let logits = faulty_ref.infer(img);
+                logits
+                    .validate_finite("logits")
+                    .expect("fault-injected forward");
+                logits.row_argmax(0)
+            })
+        }));
+        assert!(outcome.is_err(), "non-finite logits must panic in the map");
+
+        // The pool is still alive: a healthy workload completes and matches
+        // the sequential reference.
+        let healthy = model(10);
+        let healthy_ref = &healthy;
+        let par = par_map(&images, Parallelism::Fixed(4), |_, img| {
+            healthy_ref.infer(img).row_argmax(0)
+        });
+        let seq: Vec<usize> = images
+            .iter()
+            .map(|img| healthy.infer(img).row_argmax(0))
+            .collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -24,12 +24,19 @@
 //!   matrix, select and fine-tune every effort.
 //! * [`search_space`] — design-space accounting (Fig. 4b).
 //! * [`train_cost`] — GPU-hours model for training all efforts (Fig. 4c).
+//! * [`error`] — the [`PivotError`] structured error unifying the lower
+//!   crates' typed failures.
+//! * [`faults`] — deterministic fault injection (bit flips, NaN, stuck-at)
+//!   for accuracy-under-fault experiments.
 
 #![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod batched;
 pub mod cache;
 pub mod cascade;
+pub mod error;
+pub mod faults;
 pub mod multilevel;
 pub mod parallel;
 pub mod path;
@@ -41,8 +48,10 @@ pub mod search_space;
 pub mod train_cost;
 
 pub use batched::{batched_logits, batched_logits_with, EVAL_BATCH};
-pub use cache::CascadeCache;
+pub use cache::{CascadeCache, DegradationEvent, DegradationReport};
 pub use cascade::{stays_low, CascadeOutcome, CascadeStats, MultiEffortVit};
+pub use error::PivotError;
+pub use faults::{FaultInjector, FaultKind, InjectedFault};
 pub use multilevel::{EffortLadder, LadderCache, LadderOutcome, LadderStats};
 pub use parallel::{par_map, Parallelism};
 pub use path::PathConfig;

@@ -8,6 +8,7 @@
 //! everything). With `N = 2` this is exactly the paper's low/high cascade.
 
 use crate::batched::batched_logits_with;
+use crate::cache::{DegradationEvent, DegradationReport};
 use crate::cascade::CascadeStats;
 use crate::parallel::Parallelism;
 use pivot_data::Sample;
@@ -202,6 +203,18 @@ impl EffortLadder {
         self.evaluate_cached(samples, &mut self.cache(samples.len()), par)
     }
 
+    /// [`Self::evaluate_batched`] with fault accounting (DESIGN.md §5):
+    /// returns the statistics together with a [`DegradationReport`] of
+    /// every sample that hit non-finite values on its way up the ladder.
+    pub fn evaluate_guarded(
+        &self,
+        samples: &[Sample],
+        par: Parallelism,
+    ) -> (LadderStats, DegradationReport) {
+        self.cache(samples.len())
+            .evaluate_guarded(&self.levels, samples, &self.thresholds, par)
+    }
+
     /// Collapses the ladder into the paper's two-level [`CascadeStats`],
     /// treating level 0 as "low" and everything above as "high" (useful to
     /// compare against [`crate::MultiEffortVit`]).
@@ -229,6 +242,9 @@ struct LevelEntry {
     logits: Matrix,
     entropy: f32,
     prediction: usize,
+    /// Whether the logits are all finite — a fault flag for the
+    /// degradation contract of DESIGN.md §5.
+    finite: bool,
 }
 
 /// N-level extension of [`CascadeCache`](crate::CascadeCache): per-level
@@ -318,6 +334,37 @@ impl LadderCache {
         thresholds: &[f32],
         par: Parallelism,
     ) -> LadderStats {
+        self.evaluate_guarded(levels, samples, thresholds, par).0
+    }
+
+    /// [`Self::evaluate`] with fault accounting (DESIGN.md §5).
+    ///
+    /// Degradation contract for the ladder:
+    ///
+    /// * A non-finite entropy at a gated level never passes the strict
+    ///   `entropy < threshold` gate, so a faulted level auto-escalates
+    ///   (event with `served_by: None` — escalation was the recovery).
+    /// * If the **exit** level's logits are non-finite, the prediction of
+    ///   the deepest earlier level with finite logits is served instead
+    ///   (event with `served_by: Some(level)`), while the sample stays
+    ///   attributed to the faulty exit level in the statistics — its cost
+    ///   was spent. Only when *every* visited level is faulty does the
+    ///   exit level's own prediction stand (event with `served_by: None`).
+    ///
+    /// For healthy models the report is empty and the statistics are
+    /// bit-identical to [`EffortLadder::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model/threshold/sample counts do not match the cache
+    /// dimensions.
+    pub fn evaluate_guarded(
+        &mut self,
+        levels: &[VisionTransformer],
+        samples: &[Sample],
+        thresholds: &[f32],
+        par: Parallelism,
+    ) -> (LadderStats, DegradationReport) {
         assert_eq!(levels.len(), self.depth(), "level count mismatch");
         assert_eq!(
             thresholds.len(),
@@ -332,7 +379,6 @@ impl LadderCache {
 
         let mut active: Vec<usize> = (0..samples.len()).collect();
         let mut exit_level = vec![0usize; samples.len()];
-        let mut correct = vec![false; samples.len()];
         for (level, model) in levels.iter().enumerate() {
             if active.is_empty() {
                 break;
@@ -349,6 +395,7 @@ impl LadderCache {
                     self.entries[level][i] = Some(LevelEntry {
                         entropy: normalized_entropy(&logits),
                         prediction: logits.row_argmax(0),
+                        finite: logits.is_all_finite(),
                         logits,
                     });
                 }
@@ -357,14 +404,51 @@ impl LadderCache {
             let mut still_active = Vec::new();
             for &i in &active {
                 let entry = self.entries[level][i].as_ref().expect("filled above");
+                // A NaN entropy fails the strict `<` gate, so faulted
+                // levels escalate without a special case.
                 if is_last || entry.entropy < thresholds[level] {
                     exit_level[i] = level;
-                    correct[i] = entry.prediction == samples[i].label;
                 } else {
                     still_active.push(i);
                 }
             }
             active = still_active;
+        }
+
+        // Correctness and fault accounting, in sample order. Every sample
+        // visited exactly levels `0..=exit_level[i]` this evaluation.
+        let mut report = DegradationReport::default();
+        let mut correct = vec![false; samples.len()];
+        for (i, sample) in samples.iter().enumerate() {
+            let exit = exit_level[i];
+            for level in 0..exit {
+                let entry = self.entries[level][i].as_ref().expect("visited");
+                if !entry.entropy.is_finite() {
+                    report.events.push(DegradationEvent {
+                        sample: i,
+                        level,
+                        served_by: None,
+                    });
+                }
+            }
+            let entry = self.entries[exit][i].as_ref().expect("visited");
+            if entry.finite {
+                correct[i] = entry.prediction == sample.label;
+            } else {
+                let fallback = (0..exit)
+                    .rev()
+                    .find(|&l| self.entries[l][i].as_ref().is_some_and(|e| e.finite));
+                let prediction = match fallback {
+                    Some(l) => self.entries[l][i].as_ref().expect("found").prediction,
+                    None => entry.prediction,
+                };
+                correct[i] = prediction == sample.label;
+                report.events.push(DegradationEvent {
+                    sample: i,
+                    level: exit,
+                    served_by: fallback,
+                });
+            }
         }
 
         let mut stats = LadderStats {
@@ -375,7 +459,7 @@ impl LadderCache {
             entry.0 += 1;
             entry.1 += correct[i] as usize;
         }
-        stats
+        (stats, report)
     }
 }
 
@@ -521,6 +605,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn guarded_ladder_is_fault_free_on_healthy_models() {
+        let ladder = EffortLadder::new(models(20), vec![0.4, 0.7]);
+        let set = samples(21);
+        let (stats, report) = ladder.evaluate_guarded(&set, Parallelism::Off);
+        assert!(report.is_empty());
+        assert_eq!(stats, ladder.evaluate(&set));
+    }
+
+    #[test]
+    fn faulted_middle_level_escalates_and_faulted_top_falls_back() {
+        use crate::faults::{FaultInjector, FaultKind};
+        let mut ms = models(22);
+        let set = samples(23);
+
+        // Faulted middle level: every sample passing through it escalates
+        // (NaN entropy fails the gate) and the healthy top serves it.
+        let mut mid_faulty = ms.clone();
+        FaultInjector::new(24).inject_params(&mut mid_faulty[1], FaultKind::StuckNan, 10_000);
+        // Gates that would otherwise keep many samples at the middle.
+        let ladder = EffortLadder::new(mid_faulty, vec![0.0, 1.0]);
+        let (stats, report) = ladder.evaluate_guarded(&set, Parallelism::Off);
+        assert_eq!(
+            stats.per_level[1].0, 0,
+            "no sample may exit at the faulty level"
+        );
+        assert_eq!(stats.per_level[2].0, set.len());
+        assert_eq!(report.non_finite_at(1), set.len());
+        assert_eq!(report.fallbacks(), 0);
+
+        // Faulted top level: escalated samples fall back to the deepest
+        // healthy level below (level 1 here), but stay attributed to the
+        // top in the statistics.
+        FaultInjector::new(25).inject_params(&mut ms[2], FaultKind::StuckNan, 10_000);
+        let ladder = EffortLadder::new(ms.clone(), vec![0.0, 0.0]);
+        let (stats, report) = ladder.evaluate_guarded(&set, Parallelism::Off);
+        assert_eq!(stats.per_level[2].0, set.len());
+        assert_eq!(report.fallbacks(), set.len());
+        for e in &report.events {
+            assert_eq!((e.level, e.served_by), (2, Some(1)));
+        }
+        // Served accuracy equals the healthy level-1 model's accuracy.
+        let mid_correct = set
+            .iter()
+            .filter(|s| ms[1].infer(&s.image).row_argmax(0) == s.label)
+            .count();
+        assert_eq!(stats.per_level[2].1, mid_correct);
     }
 
     #[test]

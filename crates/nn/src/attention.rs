@@ -85,6 +85,15 @@ impl MultiHeadAttention {
         self.proj.set_quant_mode(quant);
     }
 
+    /// Total quantization-saturated weights across all four projections
+    /// (see [`Linear::weight_saturation`]).
+    pub fn weight_saturation(&self) -> usize {
+        self.wq.weight_saturation()
+            + self.wk.weight_saturation()
+            + self.wv.weight_saturation()
+            + self.proj.weight_saturation()
+    }
+
     /// Inference-only forward without caching.
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let (out, _) = self.attend(&self.wq.infer(x), &self.wk.infer(x), &self.wv.infer(x));

@@ -82,6 +82,16 @@ impl EncoderBlock {
         self.mlp.set_quant_mode(quant);
     }
 
+    /// Total quantization-saturated weights across the attention and MLP
+    /// sub-layers (see [`crate::Linear::weight_saturation`]).
+    ///
+    /// Counts the attention projections even when the attention sub-block is
+    /// currently skipped: the weights still live in (simulated) SRAM and a
+    /// corrupted value there matters as soon as the effort level rises.
+    pub fn weight_saturation(&self) -> usize {
+        self.attn.weight_saturation() + self.mlp.weight_saturation()
+    }
+
     /// Inference-only forward, also returning the trace for CKA capture.
     pub fn infer_traced(&self, x: &Matrix) -> EncoderTrace {
         let after_attn = if self.attention_active {

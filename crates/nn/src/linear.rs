@@ -100,6 +100,20 @@ impl Linear {
         x.matmul(&self.effective_weight())
             .add_row_broadcast(self.bias.value.row(0))
     }
+
+    /// Number of weights this layer's quantizer cannot represent in-range.
+    ///
+    /// In `Int8` mode the symmetric fit ignores non-finite weights, so a
+    /// healthy layer reports 0 and any corrupted (NaN/±inf) weight counts as
+    /// saturated — a cheap per-layer fault indicator. Always 0 in
+    /// full-precision mode, where no quantizer is applied.
+    pub fn weight_saturation(&self) -> usize {
+        match self.quant {
+            QuantMode::None => 0,
+            QuantMode::Int8 => QuantParams::fit_symmetric(&self.weight.value)
+                .saturation_count(self.weight.value.as_slice()),
+        }
+    }
 }
 
 impl Layer for Linear {

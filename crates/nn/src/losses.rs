@@ -74,8 +74,18 @@ pub fn distillation_mse(student: &Matrix, teacher: &Matrix) -> LossValue {
 /// Normalized prediction entropy `E(x)` of a logit row (paper Eq. 3).
 ///
 /// `E(x) = -1/log(K) * sum_i p_i log p_i` with `p = softmax(logits)`, so the
-/// result lies in `(0, 1]`: 1 means a uniform (maximally uncertain)
+/// result lies in `[0, 1]`: 1 means a uniform (maximally uncertain)
 /// prediction, values near 0 mean a confident one.
+///
+/// # Degenerate and faulty inputs
+///
+/// * Logits containing NaN or `+inf` cannot form a probability distribution;
+///   the fault is propagated as `f32::NAN` so callers (the `Th` gate in
+///   `pivot-core`) can treat the sample as "escalate".
+/// * `-inf` logits are representable "impossible classes" (probability 0);
+///   if *every* logit is `-inf` the distribution is undefined and the result
+///   clamps to 1.0 — maximal uncertainty — instead of NaN.
+/// * Finite rounding noise is clamped into `[0, 1]`.
 ///
 /// # Panics
 ///
@@ -85,12 +95,23 @@ pub fn normalized_entropy(logits: &Matrix) -> f32 {
     assert_eq!(logits.rows(), 1, "normalized_entropy expects one logit row");
     let k = logits.cols();
     assert!(k >= 2, "entropy normalization needs at least 2 classes");
-    let probs = softmax_row(logits.row(0));
+    let row = logits.row(0);
+    if row.iter().any(|&v| v.is_nan() || v == f32::INFINITY) {
+        return f32::NAN;
+    }
+    let probs = softmax_row(row);
+    if probs.iter().any(|p| p.is_nan()) {
+        // Only reachable when every logit is -inf: softmax has no mass to
+        // distribute. Without this guard the `p > 0.0` filter below would
+        // silently report entropy 0 — maximal confidence — for a row that
+        // carries no information at all.
+        return 1.0;
+    }
     let raw: f32 = probs
         .iter()
         .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
         .sum();
-    raw / (k as f32).ln()
+    (raw / (k as f32).ln()).clamp(0.0, 1.0)
 }
 
 /// Normalized entropies of a batch of cached logit rows.
@@ -185,6 +206,33 @@ mod tests {
     fn confident_logits_have_entropy_near_zero() {
         let e = normalized_entropy(&Matrix::row_vector(&[30.0, 0.0, 0.0, 0.0]));
         assert!(e < 1e-4);
+    }
+
+    #[test]
+    fn entropy_of_all_neg_inf_logits_is_maximal_not_nan() {
+        let e = normalized_entropy(&Matrix::row_vector(&[f32::NEG_INFINITY; 4]));
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn entropy_with_some_neg_inf_logits_is_finite() {
+        // -inf marks an impossible class; the remaining two classes are
+        // equally likely, so normalized entropy is ln(2)/ln(3).
+        let e = normalized_entropy(&Matrix::row_vector(&[0.0, 0.0, f32::NEG_INFINITY]));
+        let expected = 2.0f32.ln() / 3.0f32.ln();
+        assert!((e - expected).abs() < 1e-5, "e = {e}");
+    }
+
+    #[test]
+    fn entropy_of_faulty_logits_is_nan() {
+        assert!(normalized_entropy(&Matrix::row_vector(&[0.0, f32::NAN])).is_nan());
+        assert!(normalized_entropy(&Matrix::row_vector(&[0.0, f32::INFINITY])).is_nan());
+    }
+
+    #[test]
+    fn entropy_is_clamped_to_unit_interval() {
+        let e = normalized_entropy(&Matrix::row_vector(&[1e-4; 10]));
+        assert!((0.0..=1.0).contains(&e));
     }
 
     #[test]

@@ -50,6 +50,12 @@ impl Mlp {
         self.fc1.set_quant_mode(quant);
         self.fc2.set_quant_mode(quant);
     }
+
+    /// Total quantization-saturated weights across both projections
+    /// (see [`Linear::weight_saturation`]).
+    pub fn weight_saturation(&self) -> usize {
+        self.fc1.weight_saturation() + self.fc2.weight_saturation()
+    }
 }
 
 impl Layer for Mlp {

@@ -44,7 +44,7 @@ pub use dataflow::{simulate_fold_cycles, Dataflow};
 pub use energy::{EnergyBreakdown, EnergyComponent};
 pub use ps::{PsConfig, PsOpKind};
 pub use report::{DelayBreakdown, EffortPerf, ModuleClass};
-pub use simulator::{AcceleratorConfig, LayerReport, Simulator};
+pub use simulator::{AcceleratorConfig, ConfigError, LayerReport, Simulator};
 pub use systolic::{matmul_cycles, MatmulDims, MatmulStats};
 pub use workload::{LayerOp, OpKind, VitGeometry, VitWorkload};
 

@@ -24,12 +24,14 @@
 #![deny(missing_docs)]
 
 mod batch;
+mod health;
 mod matrix;
 mod ops;
 mod quant;
 mod rng;
 
 pub use batch::Batch;
+pub use health::NonFiniteError;
 pub use matrix::{Matrix, MATMUL_TILE};
 pub use ops::{erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place};
 pub use quant::{QuantParams, Quantized};

@@ -141,6 +141,28 @@ mod tests {
         assert!(log_softmax_row(&[]).is_empty());
     }
 
+    #[test]
+    fn softmax_with_some_neg_inf_underflows_to_zero_probability() {
+        // A -inf logit is a representable "impossible class": it must get
+        // probability exactly 0 while the rest stays a valid distribution.
+        let s = softmax_row(&[0.0, f32::NEG_INFINITY, 1.0]);
+        assert_eq!(s[1], 0.0);
+        assert!(s.iter().all(|p| p.is_finite()));
+        assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_degenerate_rows_produce_nan_fault_signature() {
+        // All--inf and NaN-containing rows cannot form a distribution; the
+        // kernel propagates NaN and callers (pivot-nn's normalized entropy,
+        // the cascade gate) are responsible for mapping that to a defined
+        // escalate/degrade decision. This test pins the fault signature.
+        let all_neg_inf = softmax_row(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert!(all_neg_inf.iter().all(|p| p.is_nan()));
+        let with_nan = softmax_row(&[0.0, f32::NAN]);
+        assert!(with_nan.iter().any(|p| p.is_nan()));
+    }
+
     proptest! {
         #[test]
         fn prop_softmax_simplex(row in proptest::collection::vec(-20.0f32..20.0, 1..32)) {

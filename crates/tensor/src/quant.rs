@@ -68,8 +68,18 @@ impl QuantParams {
     }
 
     /// Fits symmetric 8-bit parameters (zero point 0), typical for weights.
+    ///
+    /// Non-finite values are ignored when fitting the range (mirroring
+    /// [`QuantParams::fit_slice`]), so a single corrupted weight cannot poison
+    /// the scale of the whole tensor; the corrupted element itself shows up in
+    /// [`QuantParams::saturation_count`] instead.
     pub fn fit_symmetric(m: &Matrix) -> Self {
-        let scale = (m.max_abs() / 127.0).max(Self::MIN_SCALE);
+        let max_abs = m
+            .as_slice()
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        let scale = (max_abs / 127.0).max(Self::MIN_SCALE);
         Self {
             scale,
             zero_point: 0,
@@ -105,6 +115,26 @@ impl QuantParams {
     /// Fake-quantizes every element of a matrix.
     pub fn fake_quant_matrix(&self, m: &Matrix) -> Matrix {
         m.map(|x| self.fake_quant(x))
+    }
+
+    /// Number of values that this quantizer cannot represent in-range.
+    ///
+    /// Counts elements whose quantized code would fall outside `[-128, 127]`
+    /// before clamping, plus any non-finite elements (which always saturate
+    /// or corrupt the code). Healthy weights quantized with parameters fitted
+    /// to their own range never saturate; a non-zero count is a per-layer
+    /// fault indicator used by the degradation tooling in higher crates.
+    pub fn saturation_count(&self, values: &[f32]) -> usize {
+        values
+            .iter()
+            .filter(|&&x| {
+                if !x.is_finite() {
+                    return true;
+                }
+                let q = (x / self.scale).round() + self.zero_point as f32;
+                !(-128.0..=127.0).contains(&q)
+            })
+            .count()
     }
 }
 
@@ -210,6 +240,33 @@ mod tests {
         let qp = QuantParams::fit(&m);
         assert!(qp.scale() > 0.0);
         assert_eq!(qp.fake_quant_matrix(&m), m);
+    }
+
+    #[test]
+    fn self_fitted_weights_never_saturate() {
+        let mut rng = Rng::new(11);
+        let m = Matrix::randn(8, 8, 3.0, &mut rng);
+        let qp = QuantParams::fit_symmetric(&m);
+        assert_eq!(qp.saturation_count(m.as_slice()), 0);
+    }
+
+    #[test]
+    fn corrupted_weights_are_counted_as_saturated() {
+        let mut rng = Rng::new(12);
+        let mut m = Matrix::randn(4, 4, 1.0, &mut rng);
+        m.as_mut_slice()[3] = f32::NAN;
+        m.as_mut_slice()[7] = f32::INFINITY;
+        // Symmetric fit ignores the non-finite entries, so the scale stays
+        // sane and exactly the two corrupted elements saturate.
+        let qp = QuantParams::fit_symmetric(&m);
+        assert!(qp.scale().is_finite());
+        assert_eq!(qp.saturation_count(m.as_slice()), 2);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate_under_fixed_params() {
+        let qp = QuantParams::new(1.0, 0);
+        assert_eq!(qp.saturation_count(&[0.0, 127.0, 128.0, -129.0, 1e9]), 3);
     }
 
     #[test]

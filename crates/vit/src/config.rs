@@ -1,6 +1,31 @@
 //! ViT geometry configurations.
 
 use pivot_nn::QuantMode;
+use std::error::Error;
+use std::fmt;
+
+/// A ViT configuration failed validation.
+///
+/// Produced by [`VitConfig::try_validate`]; checkpoint loading maps this into
+/// `CheckpointError::InvalidConfig` so corrupt headers surface as typed
+/// errors instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// The human-readable reason validation failed.
+    pub fn reason(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ViT config: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Geometry and numerics of a Vision Transformer.
 ///
@@ -131,24 +156,58 @@ impl VitConfig {
         (self.dim as f32 * self.mlp_ratio).round() as usize
     }
 
+    /// Validates divisibility constraints, returning a typed error.
+    ///
+    /// Unlike [`VitConfig::validate`] this never panics, even on
+    /// adversarially malformed configurations (zero patch size, non-finite
+    /// MLP ratio), which makes it safe to run on headers decoded from
+    /// untrusted checkpoint bytes.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        fn check(ok: bool, reason: &str) -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError(reason.to_string()))
+            }
+        }
+        check(
+            self.depth > 0 && self.dim > 0 && self.heads > 0,
+            "zero-sized config",
+        )?;
+        check(self.num_classes >= 2, "need at least two classes")?;
+        check(
+            self.image_size > 0 && self.patch_size > 0,
+            "zero-sized image or patch",
+        )?;
+        check(
+            self.image_size.is_multiple_of(self.patch_size),
+            "image must divide into patches",
+        )?;
+        check(
+            self.dim.is_multiple_of(self.heads),
+            "dim must divide into heads",
+        )?;
+        check(
+            self.mlp_ratio.is_finite() && self.mlp_ratio > 0.0,
+            "mlp_ratio must be finite and positive",
+        )?;
+        check(self.mlp_hidden() > 0, "mlp hidden size rounds to zero")?;
+        Ok(())
+    }
+
     /// Validates divisibility constraints.
+    ///
+    /// Panicking wrapper around [`VitConfig::try_validate`], retained for
+    /// API compatibility on trusted in-process configurations.
     ///
     /// # Panics
     ///
     /// Panics if the image is not divisible into patches, `dim` is not
     /// divisible by `heads`, or any extent is zero.
     pub fn validate(&self) {
-        assert!(
-            self.depth > 0 && self.dim > 0 && self.heads > 0,
-            "zero-sized config"
-        );
-        assert!(self.num_classes >= 2, "need at least two classes");
-        assert_eq!(
-            self.image_size % self.patch_size,
-            0,
-            "image must divide into patches"
-        );
-        assert_eq!(self.dim % self.heads, 0, "dim must divide into heads");
+        if let Err(e) = self.try_validate() {
+            panic!("{}", e.reason());
+        }
     }
 }
 
@@ -186,5 +245,27 @@ mod tests {
             ..VitConfig::tiny()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors_without_panicking() {
+        // Malformed fields that would previously panic (or divide by zero)
+        // now surface as ConfigError — the contract checkpoint loading
+        // relies on.
+        let zero_patch = VitConfig {
+            patch_size: 0,
+            ..VitConfig::tiny()
+        };
+        assert!(zero_patch.try_validate().is_err());
+
+        let nan_ratio = VitConfig {
+            mlp_ratio: f32::NAN,
+            ..VitConfig::tiny()
+        };
+        let err = nan_ratio.try_validate().unwrap_err();
+        assert!(err.reason().contains("mlp_ratio"));
+        assert!(err.to_string().contains("invalid ViT config"));
+
+        assert!(VitConfig::tiny().try_validate().is_ok());
     }
 }

@@ -1,23 +1,221 @@
 //! Model checkpointing: a small self-contained binary format.
 //!
-//! Layout (little endian):
+//! Layout of the current `PVIT2` format (little endian):
 //!
 //! ```text
-//! magic  "PVIT1"
+//! magic  "PVIT2"
 //! config name_len:u32 name:utf8 depth:u32 dim:u32 heads:u32 mlp_ratio:f32
 //!        image_size:u32 patch_size:u32 num_classes:u32 quant:u8
-//! mask   depth x u8            (active attentions)
+//! mask   depth x u8            (active attentions, strictly 0 or 1)
 //! params n_params:u32, then per param: rows:u32 cols:u32 data:f32*
+//! crc    crc32:u32             (IEEE CRC-32 over all preceding bytes)
 //! ```
+//!
+//! Integrity and robustness guarantees:
+//!
+//! * All length/shape fields are validated against hard caps *before* any
+//!   allocation, so a corrupt or adversarial header cannot drive unbounded
+//!   `Vec` growth.
+//! * The trailing CRC-32 (pure-Rust table implementation, no dependencies)
+//!   covers every byte from the magic through the last parameter, so any
+//!   single-byte corruption is detected.
+//! * [`VisionTransformer::load`] returns a typed [`CheckpointError`] and
+//!   never panics on malformed input.
+//!
+//! Legacy `PVIT1` checkpoints (identical layout without the trailing CRC)
+//! still load, without checksum verification.
 
+use crate::config::ConfigError;
 use crate::{VisionTransformer, VitConfig};
 use pivot_nn::QuantMode;
 use pivot_tensor::{Matrix, Rng};
+use std::error::Error;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 5] = b"PVIT1";
+const MAGIC_V2: &[u8; 5] = b"PVIT2";
+const MAGIC_V1: &[u8; 5] = b"PVIT1";
+
+/// Hard caps on header fields, checked before any allocation. They are far
+/// above every configuration this workspace ships (DeiT-S: depth 12, dim
+/// 384) but low enough that a corrupt u32 cannot request a gigantic buffer.
+const MAX_NAME_LEN: u64 = 4096;
+const MAX_DEPTH: u64 = 512;
+const MAX_DIM: u64 = 16_384;
+const MAX_HEADS: u64 = 256;
+const MAX_IMAGE_SIZE: u64 = 4096;
+const MAX_NUM_CLASSES: u64 = 1 << 20;
+const MAX_MLP_RATIO: f32 = 64.0;
+const MAX_N_PARAMS: u64 = 1 << 20;
+const MAX_PARAM_SIDE: u64 = 1 << 24;
+
+/// A checkpoint could not be loaded (or, for [`CheckpointError::Io`],
+/// written).
+///
+/// Every malformed-input path in [`VisionTransformer::load`] maps to one of
+/// these variants; none of them panics.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure, including unexpected end of file.
+    Io(io::Error),
+    /// The file does not start with a known `PVIT` magic.
+    BadMagic,
+    /// A structural field is malformed or inconsistent with the model.
+    Corrupt(String),
+    /// A length or shape field exceeds the format's hard caps.
+    LimitExceeded {
+        /// Name of the offending header field.
+        field: &'static str,
+        /// The value found in the file.
+        value: u64,
+        /// The maximum the format accepts.
+        max: u64,
+    },
+    /// The trailing CRC-32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes actually read.
+        computed: u32,
+    },
+    /// The stored configuration fails [`VitConfig::try_validate`].
+    InvalidConfig(ConfigError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a PVIT checkpoint"),
+            Self::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            Self::LimitExceeded { field, value, max } => {
+                write!(f, "checkpoint field {field} = {value} exceeds cap {max}")
+            }
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint CRC-32 mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::InvalidConfig(e) => write!(f, "checkpoint holds an {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ConfigError> for CheckpointError {
+    fn from(e: ConfigError) -> Self {
+        Self::InvalidConfig(e)
+    }
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = crc;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// IEEE CRC-32 of `bytes` (the common zlib/PNG/Ethernet polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
+
+/// Writer adapter that folds every written byte into a running CRC-32.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, crc: !0 }
+    }
+
+    fn crc(&self) -> u32 {
+        !self.crc
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter that folds every consumed byte into a running CRC-32.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, crc: !0 }
+    }
+
+    fn crc(&self) -> u32 {
+        !self.crc
+    }
+
+    /// Reads bytes *without* folding them into the CRC (used for the stored
+    /// checksum itself).
+    fn read_exact_raw(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+}
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -39,31 +237,47 @@ fn read_f32(r: &mut impl Read) -> io::Result<f32> {
     Ok(f32::from_le_bytes(buf))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+fn corrupt(msg: &str) -> CheckpointError {
+    CheckpointError::Corrupt(msg.to_string())
+}
+
+fn capped(field: &'static str, value: u64, max: u64) -> Result<usize, CheckpointError> {
+    if value > max {
+        Err(CheckpointError::LimitExceeded { field, value, max })
+    } else {
+        Ok(value as usize)
+    }
 }
 
 impl VisionTransformer {
     /// Saves the model (configuration, attention-skip mask and all
-    /// parameters) to a file.
+    /// parameters) in the `PVIT2` format with a trailing CRC-32.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating or writing the file.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
+        let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
+        w.write_all(MAGIC_V2)?;
+        self.write_body(&mut w)?;
+        let crc = w.crc();
+        w.inner.write_all(&crc.to_le_bytes())?;
+        w.inner.flush()
+    }
+
+    /// Writes everything after the magic: config, mask and parameters.
+    fn write_body(&self, w: &mut impl Write) -> io::Result<()> {
         let cfg = self.config().clone();
         let name = cfg.name.as_bytes();
-        write_u32(&mut w, name.len() as u32)?;
+        write_u32(w, name.len() as u32)?;
         w.write_all(name)?;
-        write_u32(&mut w, cfg.depth as u32)?;
-        write_u32(&mut w, cfg.dim as u32)?;
-        write_u32(&mut w, cfg.heads as u32)?;
-        write_f32(&mut w, cfg.mlp_ratio)?;
-        write_u32(&mut w, cfg.image_size as u32)?;
-        write_u32(&mut w, cfg.patch_size as u32)?;
-        write_u32(&mut w, cfg.num_classes as u32)?;
+        write_u32(w, cfg.depth as u32)?;
+        write_u32(w, cfg.dim as u32)?;
+        write_u32(w, cfg.heads as u32)?;
+        write_f32(w, cfg.mlp_ratio)?;
+        write_u32(w, cfg.image_size as u32)?;
+        write_u32(w, cfg.patch_size as u32)?;
+        write_u32(w, cfg.num_classes as u32)?;
         w.write_all(&[match cfg.quant {
             QuantMode::None => 0u8,
             QuantMode::Int8 => 1u8,
@@ -75,50 +289,61 @@ impl VisionTransformer {
         // Parameters, via a clone so the public API stays `&self`.
         let mut clone = self.clone();
         let params = clone.params_mut();
-        write_u32(&mut w, params.len() as u32)?;
+        write_u32(w, params.len() as u32)?;
         for p in params {
-            write_u32(&mut w, p.value.rows() as u32)?;
-            write_u32(&mut w, p.value.cols() as u32)?;
+            write_u32(w, p.value.rows() as u32)?;
+            write_u32(w, p.value.cols() as u32)?;
             for &v in p.value.as_slice() {
-                write_f32(&mut w, v)?;
+                write_f32(w, v)?;
             }
         }
-        w.flush()
+        Ok(())
     }
 
     /// Loads a model saved with [`VisionTransformer::save`].
     ///
+    /// Accepts the current `PVIT2` format (CRC-verified) and legacy `PVIT1`
+    /// files (no checksum). Never panics on malformed input: every header
+    /// field is capped before allocation and the decoded configuration is
+    /// validated with [`VitConfig::try_validate`] before the model is built.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be read, has a bad magic number,
-    /// or its parameter shapes do not match the stored configuration.
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
+    /// Returns a [`CheckpointError`] if the file cannot be read, has a bad
+    /// magic number, fails a cap or the CRC check, or its parameter shapes
+    /// do not match the stored configuration.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let mut r = CrcReader::new(BufReader::new(File::open(path)?));
         let mut magic = [0u8; 5];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad("not a PVIT1 checkpoint"));
-        }
-        let name_len = read_u32(&mut r)? as usize;
-        if name_len > 4096 {
-            return Err(bad("unreasonable name length"));
-        }
+        let verify_crc = if &magic == MAGIC_V2 {
+            true
+        } else if &magic == MAGIC_V1 {
+            false
+        } else {
+            return Err(CheckpointError::BadMagic);
+        };
+
+        let name_len = capped("name_len", read_u32(&mut r)? as u64, MAX_NAME_LEN)?;
         let mut name_bytes = vec![0u8; name_len];
         r.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| bad("name is not UTF-8"))?;
-        let depth = read_u32(&mut r)? as usize;
-        let dim = read_u32(&mut r)? as usize;
-        let heads = read_u32(&mut r)? as usize;
+        let name = String::from_utf8(name_bytes).map_err(|_| corrupt("name is not UTF-8"))?;
+        let depth = capped("depth", read_u32(&mut r)? as u64, MAX_DEPTH)?;
+        let dim = capped("dim", read_u32(&mut r)? as u64, MAX_DIM)?;
+        let heads = capped("heads", read_u32(&mut r)? as u64, MAX_HEADS)?;
         let mlp_ratio = read_f32(&mut r)?;
-        let image_size = read_u32(&mut r)? as usize;
-        let patch_size = read_u32(&mut r)? as usize;
-        let num_classes = read_u32(&mut r)? as usize;
+        if !(mlp_ratio.is_finite() && mlp_ratio > 0.0 && mlp_ratio <= MAX_MLP_RATIO) {
+            return Err(corrupt("mlp_ratio out of range"));
+        }
+        let image_size = capped("image_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
+        let patch_size = capped("patch_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
+        let num_classes = capped("num_classes", read_u32(&mut r)? as u64, MAX_NUM_CLASSES)?;
         let mut quant_byte = [0u8; 1];
         r.read_exact(&mut quant_byte)?;
         let quant = match quant_byte[0] {
             0 => QuantMode::None,
             1 => QuantMode::Int8,
-            _ => return Err(bad("unknown quant mode")),
+            _ => return Err(corrupt("unknown quant mode")),
         };
         let config = VitConfig {
             name,
@@ -131,11 +356,20 @@ impl VisionTransformer {
             num_classes,
             quant,
         };
+        // Reject inconsistent geometry *before* building the model:
+        // `VisionTransformer::new` asserts on these and must never be
+        // reachable with unvalidated bytes.
+        config.try_validate()?;
+
         let mut mask = Vec::with_capacity(depth);
         for _ in 0..depth {
             let mut b = [0u8; 1];
             r.read_exact(&mut b)?;
-            mask.push(b[0] != 0);
+            match b[0] {
+                0 => mask.push(false),
+                1 => mask.push(true),
+                _ => return Err(corrupt("attention mask byte is not 0/1")),
+            }
         }
 
         let mut model = VisionTransformer::new(&config, &mut Rng::new(0));
@@ -146,16 +380,16 @@ impl VisionTransformer {
             .collect();
         model.set_active_attentions(&active);
 
-        let n_params = read_u32(&mut r)? as usize;
+        let n_params = capped("n_params", read_u32(&mut r)? as u64, MAX_N_PARAMS)?;
         let mut params = model.params_mut();
         if n_params != params.len() {
-            return Err(bad("parameter count mismatch"));
+            return Err(corrupt("parameter count mismatch"));
         }
         for p in params.iter_mut() {
-            let rows = read_u32(&mut r)? as usize;
-            let cols = read_u32(&mut r)? as usize;
+            let rows = capped("param rows", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
+            let cols = capped("param cols", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
             if (rows, cols) != p.value.shape() {
-                return Err(bad("parameter shape mismatch"));
+                return Err(corrupt("parameter shape mismatch"));
             }
             let mut data = Vec::with_capacity(rows * cols);
             for _ in 0..rows * cols {
@@ -163,7 +397,26 @@ impl VisionTransformer {
             }
             p.value = Matrix::from_vec(rows, cols, data);
         }
-        Ok(model)
+        drop(params);
+
+        if verify_crc {
+            let computed = r.crc();
+            let mut stored_bytes = [0u8; 4];
+            r.read_exact_raw(&mut stored_bytes)?;
+            let stored = u32::from_le_bytes(stored_bytes);
+            if stored != computed {
+                return Err(CheckpointError::ChecksumMismatch { stored, computed });
+            }
+        }
+        // Both formats must end exactly here; trailing bytes mean the file
+        // is not what it claims to be (e.g. a PVIT2 file whose magic was
+        // corrupted into PVIT1, leaving an unconsumed CRC).
+        let mut extra = [0u8; 1];
+        match r.read_exact_raw(&mut extra) {
+            Ok(()) => Err(corrupt("trailing bytes after checkpoint")),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(model),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -171,9 +424,25 @@ impl VisionTransformer {
 mod tests {
     use super::*;
     use pivot_tensor::Matrix;
+    use proptest::prelude::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("pivot_io_test_{name}_{}.bin", std::process::id()))
+    }
+
+    /// Serializes `model` in the legacy PVIT1 layout (no trailing CRC).
+    fn save_v1(model: &VisionTransformer, path: &std::path::Path) {
+        let mut w = BufWriter::new(File::create(path).expect("create"));
+        w.write_all(MAGIC_V1).expect("magic");
+        model.write_body(&mut w).expect("body");
+        w.flush().expect("flush");
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -193,12 +462,39 @@ mod tests {
     }
 
     #[test]
+    fn saved_files_use_pvit2_magic() {
+        let cfg = VitConfig::test_small();
+        let model = VisionTransformer::new(&cfg, &mut Rng::new(3));
+        let path = tmp("magic_v2");
+        model.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(&bytes[..5], MAGIC_V2);
+        // Trailing four bytes are the CRC over everything before them.
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(stored, crc32(&bytes[..bytes.len() - 4]));
+    }
+
+    #[test]
+    fn legacy_pvit1_checkpoint_still_loads() {
+        let cfg = VitConfig::test_small();
+        let mut model = VisionTransformer::new(&cfg, &mut Rng::new(5));
+        model.set_active_attentions(&[1, 3]);
+        let path = tmp("legacy_v1");
+        save_v1(&model, &path);
+        let loaded = VisionTransformer::load(&path).expect("v1 load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.config(), model.config());
+        assert_eq!(loaded.active_attentions(), vec![1, 3]);
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let path = tmp("bad_magic");
         std::fs::write(&path, b"NOTAPIVOTMODEL").expect("write");
         let err = VisionTransformer::load(&path).expect_err("must fail");
         std::fs::remove_file(&path).ok();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, CheckpointError::BadMagic), "{err}");
     }
 
     #[test]
@@ -216,5 +512,73 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(VisionTransformer::load("/nonexistent/dir/model.bin").is_err());
+    }
+
+    #[test]
+    fn flipped_param_byte_fails_the_crc() {
+        let cfg = VitConfig::test_small();
+        let model = VisionTransformer::new(&cfg, &mut Rng::new(2));
+        let path = tmp("crc_flip");
+        model.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip a byte deep inside the parameter block: structurally valid,
+        // only the checksum can catch it.
+        let mid = bytes.len() - 64;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = VisionTransformer::load(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn absurd_length_fields_are_capped_before_allocating() {
+        // magic + name_len = u32::MAX: must be rejected without trying to
+        // allocate 4 GiB.
+        let path = tmp("cap_name");
+        let mut bytes = MAGIC_V2.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        let err = VisionTransformer::load(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        match err {
+            CheckpointError::LimitExceeded { field, value, .. } => {
+                assert_eq!(field, "name_len");
+                assert_eq!(value, u32::MAX as u64);
+            }
+            other => panic!("expected LimitExceeded, got {other}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Single-byte corruption anywhere in a PVIT2 checkpoint must yield
+        /// `Err` — never a panic, never a silently loaded model. The CRC-32
+        /// detects all single-byte errors, so this holds for every position
+        /// and every non-zero xor mask.
+        #[test]
+        fn corrupted_checkpoint_never_loads(pos_frac in 0.0f64..1.0, xor in 1u32..256) {
+            let cfg = VitConfig::test_small();
+            let model = VisionTransformer::new(&cfg, &mut Rng::new(9));
+            let path = tmp("prop_corrupt");
+            model.save(&path).expect("save");
+            let mut bytes = std::fs::read(&path).expect("read");
+            let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[pos] ^= xor as u8;
+            std::fs::write(&path, &bytes).expect("rewrite");
+            let outcome = std::panic::catch_unwind(|| VisionTransformer::load(&path));
+            std::fs::remove_file(&path).ok();
+            match outcome {
+                Ok(result) => prop_assert!(
+                    result.is_err(),
+                    "corrupted byte {pos} (xor {xor:#x}) loaded silently"
+                ),
+                Err(_) => prop_assert!(false, "corrupted byte {pos} (xor {xor:#x}) panicked"),
+            }
+        }
     }
 }

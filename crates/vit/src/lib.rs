@@ -22,7 +22,8 @@ mod io;
 mod model;
 mod train;
 
-pub use config::VitConfig;
+pub use config::{ConfigError, VitConfig};
+pub use io::{crc32, CheckpointError};
 pub use model::{ForwardTrace, VisionTransformer};
 pub use train::{EpochStats, TrainConfig, Trainer};
 

@@ -171,6 +171,31 @@ impl VisionTransformer {
         &self.blocks
     }
 
+    /// Per-layer quantization-saturation counters, labeled by layer.
+    ///
+    /// Each entry is `(layer, count)` where `count` is the number of weights
+    /// the layer's int8 quantizer cannot represent in-range (see
+    /// `pivot_nn::Linear::weight_saturation`). A healthy Int8 model reports
+    /// 0 everywhere; non-zero counts localize corrupted weights (bit flips,
+    /// stuck-at faults) to a specific layer. Full-precision layers always
+    /// report 0.
+    pub fn quant_saturation_report(&self) -> Vec<(String, usize)> {
+        let mut report = vec![(
+            "patch_embed".to_string(),
+            self.patch_embed.weight_saturation(),
+        )];
+        for (i, block) in self.blocks.iter().enumerate() {
+            report.push((format!("enc{i}"), block.weight_saturation()));
+        }
+        report.push(("head".to_string(), self.head.weight_saturation()));
+        report
+    }
+
+    /// Sum of [`VisionTransformer::quant_saturation_report`] over all layers.
+    pub fn total_weight_saturation(&self) -> usize {
+        self.quant_saturation_report().iter().map(|(_, n)| n).sum()
+    }
+
     /// Applies the final norm and classifier head to an encoder-stack
     /// output, reading the class token (row 0).
     ///
