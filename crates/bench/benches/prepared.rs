@@ -1,0 +1,70 @@
+//! Prepared-view vs. per-chunk-rematerializing batched evaluation of an
+//! Int8 model over 1000 samples — the whole-evaluation amortization of
+//! fake-quant weight materialization (see `experiments::prepared_speedup`
+//! for the self-checking report variant). Results are written to
+//! `BENCH_prepared.json` at the workspace root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_core::{batched_logits, batched_logits_rematerializing, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_nn::QuantMode;
+use pivot_tensor::Rng;
+use pivot_vit::{VisionTransformer, VitConfig};
+
+/// Samples in the evaluated sweep.
+const SAMPLES: usize = 1000;
+
+fn bench_prepared(c: &mut Criterion) {
+    // The Int8 deployment model at the 2-token latency geometry (one
+    // patch + cls): each 32-sample chunk contributes only 64 GEMM rows to
+    // amortize a full per-chunk refit + rematerialization of every
+    // layer's weights, which is exactly the per-chunk cost the prepared
+    // view hoists out of the sweep.
+    let cfg = VitConfig {
+        patch_size: 16,
+        dim: 64,
+        ..VitConfig::test_small()
+    };
+    let mut model = VisionTransformer::new(&cfg, &mut Rng::new(7));
+    model.set_quant_mode(QuantMode::Int8);
+    let samples: Vec<Sample> = Dataset::generate_difficulty_stripes(
+        &DatasetConfig::small(),
+        &[0.1, 0.5, 0.9],
+        SAMPLES.div_ceil(3),
+        33,
+    );
+    let samples = &samples[..SAMPLES];
+
+    // The contract the timing rows rely on: both paths produce the same
+    // logits bitwise, so the delta is pure overhead, not different work.
+    let prepared = model.prepare();
+    assert_eq!(
+        batched_logits(&prepared, samples, Parallelism::Auto),
+        batched_logits_rematerializing(&model, samples, Parallelism::Auto),
+        "prepared and rematerializing logits must be bit-identical"
+    );
+
+    let mut group = c.benchmark_group("prepared_eval");
+    group.sample_size(10);
+    group.bench_function(format!("prepared {SAMPLES} int8 (incl. prepare)"), |b| {
+        b.iter(|| {
+            let view = black_box(&model).prepare();
+            batched_logits(&view, black_box(samples), Parallelism::Auto)
+        })
+    });
+    group.bench_function(format!("rematerializing {SAMPLES} int8 (per chunk)"), |b| {
+        b.iter(|| {
+            batched_logits_rematerializing(black_box(&model), black_box(samples), Parallelism::Auto)
+        })
+    });
+    group.finish();
+
+    c.save_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_prepared.json"
+    ))
+    .expect("write BENCH_prepared.json");
+}
+
+criterion_group!(benches, bench_prepared);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Prepared-view vs. per-chunk-rematerializing batched evaluation of an
+//! Int8 model (see DESIGN.md, "The prepared inference view"): the same
+//! chunked sweep, once against a view prepared up front (preparation cost
+//! included), once refitting quantizers and rematerializing weights per
+//! chunk. Logits must be bit-identical; the delta is pure overhead.
+//!
+//! `prepared_speedup smoke` runs a reduced sample count for CI and only
+//! asserts the bit-identity contract — the timing assertion is reserved
+//! for the full run, which uses 1000 samples.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let n_samples = if smoke { 96 } else { 1000 };
+    let report = pivot_bench::experiments::prepared_speedup(n_samples);
+    assert!(
+        report.bit_identical,
+        "prepared logits must be bit-identical to the rematerializing path"
+    );
+    println!(
+        "\nprepared batched evaluation: {:.2}x over per-chunk rematerialization",
+        report.speedup()
+    );
+    if !smoke {
+        assert!(
+            report.speedup() >= 1.3,
+            "prepared batched eval only {:.2}x faster than rematerializing",
+            report.speedup()
+        );
+    }
+}

@@ -11,6 +11,7 @@ mod delay;
 mod faults;
 mod gpp;
 mod parallel;
+mod prepared;
 
 pub use ablations::{
     ablation_dataflow, ablation_entropy_regularizer, ablation_gating, ablation_ladder,
@@ -22,6 +23,7 @@ pub use delay::{fig1b, fig6a, fig6b, DelayShare, EnergyReduction};
 pub use faults::{fault_injection, FaultReport, FaultSweepPoint};
 pub use gpp::{fig1c, fig7, GppMethodResult};
 pub use parallel::{parallel_speedup, ParallelSpeedup};
+pub use prepared::{prepared_speedup, PreparedSpeedup};
 
 use crate::harness::{FamilyArtifacts, Reproduction};
 use pivot_core::{Phase2Config, Phase2Result, Phase2Search};

@@ -1,0 +1,187 @@
+//! Prepared-view evaluation throughput: the whole-evaluation amortization
+//! of fake-quant weight materialization.
+//!
+//! Part of this reproduction's performance trajectory rather than a paper
+//! figure. The paper deploys every effort 8-bit quantized (Section 4.1);
+//! before the [`pivot_vit::PreparedModel`] view, every evaluation chunk
+//! refit each `Linear`'s quantizer and rematerialized its fake-quantized
+//! effective weight — work whose result is identical for every chunk of
+//! the sweep. The prepared view does it once per model. This experiment
+//! measures exactly that delta: the same chunked batched evaluation over
+//! the same Int8 model, once through [`pivot_core::batched_logits`] on a
+//! view prepared up front (preparation time included), once through
+//! [`pivot_core::batched_logits_rematerializing`], and verifies the two
+//! are **bit-identical** to each other and to per-sample inference.
+
+use crate::Table;
+use pivot_core::{batched_logits, batched_logits_rematerializing, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_nn::QuantMode;
+use pivot_tensor::Rng;
+use pivot_vit::{VisionTransformer, VitConfig};
+use std::time::Instant;
+
+/// Wall-clock comparison of prepared vs. per-chunk-rematerializing
+/// batched evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedSpeedup {
+    /// Samples evaluated.
+    pub n_samples: usize,
+    /// Worker count used by both paths (`Parallelism::Auto`).
+    pub workers: usize,
+    /// One-off `VisionTransformer::prepare` cost (ms) — included in
+    /// [`Self::prepared_ms`], broken out for the report.
+    pub prepare_ms: f64,
+    /// Prepared batched evaluation (ms), *including* the one-off
+    /// preparation, so the comparison charges the view its full cost.
+    pub prepared_ms: f64,
+    /// Per-chunk-rematerializing batched evaluation (ms): each chunk
+    /// refits quantizers and rematerializes effective weights.
+    pub rematerializing_ms: f64,
+    /// Whether both paths and per-sample inference agreed bitwise.
+    pub bit_identical: bool,
+}
+
+impl PreparedSpeedup {
+    /// Rematerializing-over-prepared speedup (higher is better; the
+    /// prepared side includes its preparation cost).
+    pub fn speedup(&self) -> f64 {
+        self.rematerializing_ms / self.prepared_ms.max(1e-9)
+    }
+}
+
+/// The Int8 deployment model the comparison runs: the test-small
+/// geometry at full patch size (one patch + cls = 2 tokens), full effort,
+/// fake-quantized weights.
+///
+/// The 2-token latency geometry is the worst case the quantizer refits
+/// were hurting: each 32-sample chunk contributes only 64 GEMM rows to
+/// amortize a full per-chunk refit + rematerialization of every layer's
+/// weights, so the per-chunk weight work is a large fraction of the
+/// sweep. (The refit cost is independent of how many rows share it —
+/// token-rich geometries dilute it, few-token ones expose it.)
+fn int8_model(seed: u64) -> VisionTransformer {
+    let cfg = VitConfig {
+        patch_size: 16,
+        dim: 64,
+        ..VitConfig::test_small()
+    };
+    let mut model = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+    model.set_quant_mode(QuantMode::Int8);
+    model
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Generates the evaluation set.
+fn eval_samples(n_samples: usize) -> Vec<Sample> {
+    Dataset::generate_difficulty_stripes(
+        &DatasetConfig::small(),
+        &[0.1, 0.5, 0.9],
+        n_samples.div_ceil(3),
+        33,
+    )
+}
+
+/// Measures prepared vs. per-chunk-rematerializing batched evaluation of
+/// an Int8 model over `n_samples` synthetic inputs and prints a report.
+///
+/// The win does not depend on core count — both paths use the same
+/// chunking and worker pool; the delta is purely the per-chunk quantizer
+/// refits and weight materializations the prepared view hoists out of the
+/// sweep.
+pub fn prepared_speedup(n_samples: usize) -> PreparedSpeedup {
+    println!("\n=== Prepared inference view: amortized fake-quant materialization ===");
+    let workers = Parallelism::Auto.workers(usize::MAX);
+    println!("host parallelism: {workers} worker(s); {n_samples} Int8 samples\n");
+
+    let model = int8_model(7);
+    let samples = eval_samples(n_samples);
+    let samples = &samples[..n_samples.min(samples.len())];
+
+    // Old path: every chunk refits + rematerializes every layer's weights.
+    let (rematerializing_ms, old_logits) =
+        time_ms(|| batched_logits_rematerializing(&model, samples, Parallelism::Auto));
+
+    // New path: prepare once, evaluate against the frozen view. The
+    // preparation is timed inside so the comparison is end-to-end honest.
+    let (prepare_ms, prepared) = time_ms(|| model.prepare());
+    let (eval_ms, new_logits) = time_ms(|| batched_logits(&prepared, samples, Parallelism::Auto));
+    let prepared_ms = prepare_ms + eval_ms;
+
+    // Bit-identity: prepared == rematerializing == per-sample inference
+    // (the per-sample check on a subset keeps the experiment fast).
+    let mut identical = old_logits == new_logits;
+    for (i, s) in samples.iter().take(8).enumerate() {
+        identical &= new_logits[i] == model.infer(&s.image);
+    }
+
+    let out = PreparedSpeedup {
+        n_samples: samples.len(),
+        workers,
+        prepare_ms,
+        prepared_ms,
+        rematerializing_ms,
+        bit_identical: identical,
+    };
+
+    let mut table = Table::new(&["Workload", "Baseline (ms)", "Optimized (ms)", "Speedup"]);
+    table.row_owned(vec![
+        format!("Int8 batched eval ({} samples)", samples.len()),
+        format!("{rematerializing_ms:.1}"),
+        format!("{prepared_ms:.1} (prepare {prepare_ms:.2})"),
+        format!("{:.2}x", out.speedup()),
+    ]);
+    println!("{table}");
+    println!(
+        "prepared logits bit-identical to rematerializing and per-sample: {}",
+        if identical {
+            "yes"
+        } else {
+            "NO — NUMERICS CONTRACT VIOLATED"
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_report_is_identical_and_finite() {
+        // Small sample count: validates wiring and the bit-identity
+        // contract, not throughput.
+        let report = prepared_speedup(24);
+        assert!(
+            report.bit_identical,
+            "prepared logits must be bit-identical"
+        );
+        assert_eq!(report.n_samples, 24);
+        assert!(report.prepared_ms >= report.prepare_ms);
+        assert!(report.rematerializing_ms > 0.0);
+    }
+
+    /// Throughput smoke test (`cargo test -- --ignored`): at 1000 Int8
+    /// samples the prepared path must beat per-chunk rematerialization by
+    /// at least 1.3x, preparation cost included. Ignored by default
+    /// because its timing assertion is load-sensitive.
+    #[test]
+    #[ignore = "throughput smoke test; run explicitly with --ignored"]
+    fn prepared_speedup_smoke() {
+        let report = prepared_speedup(1000);
+        assert!(
+            report.bit_identical,
+            "prepared logits must be bit-identical"
+        );
+        assert!(
+            report.speedup() >= 1.3,
+            "prepared batched eval only {:.2}x faster than rematerializing",
+            report.speedup()
+        );
+    }
+}

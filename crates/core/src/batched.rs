@@ -3,59 +3,97 @@
 //! Every sample-sweep in `pivot-core` (cache builds, cascade evaluation,
 //! ladder evaluation) needs the same primitive: per-sample logits for a
 //! list of images. [`batched_logits`] runs them through
-//! [`VisionTransformer::forward_batch`] in fixed-size chunks distributed
-//! over the worker pool, so each model layer runs one wide GEMM per chunk
-//! instead of one GEMM per sample, and each layer's effective
-//! (fake-quantized) weight is materialized once per chunk.
+//! [`PreparedModel::forward_batch`] in fixed-size chunks distributed over
+//! the worker pool. The prepared view materializes every layer's effective
+//! (fake-quantized) weight exactly once — before the sweep starts — so the
+//! chunks do zero per-call weight work, and chunk images are passed by
+//! reference, so no pixel data is cloned either.
 //!
 //! `forward_batch` is bit-identical to per-sample `infer` row by row, and
 //! chunk boundaries only decide which rows share a GEMM — so the returned
 //! logits are bit-identical to the per-sample path for every chunk size,
 //! worker count, and scheduling.
+//!
+//! [`batched_logits_rematerializing`] keeps the old per-chunk path (each
+//! chunk refits quantizers and rematerializes weights inside the unprepared
+//! model) as the benchmark baseline; it produces bit-identical logits,
+//! just slower.
 
 use crate::parallel::{par_map, Parallelism};
 use pivot_data::Sample;
 use pivot_tensor::Matrix;
-use pivot_vit::VisionTransformer;
+use pivot_vit::{PreparedModel, VisionTransformer};
 
 /// Samples per `forward_batch` call.
 ///
-/// Large enough to amortize per-layer weight materialization and to feed
-/// the blocked matmul kernel multi-tile row counts; small enough that a
-/// chunk's activations stay cache-resident and the worker pool has
-/// chunks to balance across threads.
+/// Large enough to feed the blocked matmul kernel multi-tile row counts;
+/// small enough that a chunk's activations stay cache-resident and the
+/// worker pool has chunks to balance across threads.
 pub const EVAL_BATCH: usize = 32;
 
 /// Per-sample logits (`1 x num_classes` each, in item order) for arbitrary
 /// items carrying an image, computed in [`EVAL_BATCH`]-sized chunks on the
-/// worker pool.
+/// worker pool against a prepared (weights-materialized-once) model view.
 pub fn batched_logits_with<T: Sync>(
+    model: &PreparedModel,
+    items: &[T],
+    image: impl for<'a> Fn(&'a T) -> &'a Matrix + Sync,
+    par: Parallelism,
+) -> Vec<Matrix> {
+    let ranges = chunk_ranges(items.len());
+    let chunks = par_map(&ranges, par, |_, &(start, end)| {
+        let images: Vec<&Matrix> = items[start..end].iter().map(&image).collect();
+        model.forward_batch(&images)
+    });
+    split_rows(&chunks)
+}
+
+/// [`batched_logits_with`] over labeled samples.
+pub fn batched_logits(model: &PreparedModel, samples: &[Sample], par: Parallelism) -> Vec<Matrix> {
+    batched_logits_with(model, samples, |s| &s.image, par)
+}
+
+/// The pre-`PreparedModel` evaluation path, kept as a benchmark baseline
+/// and differential-test oracle: identical chunking and worker scheduling,
+/// but each chunk runs the unprepared model, so every `Linear` refits its
+/// quantizer and rematerializes its effective weight once per chunk.
+/// Bit-identical to [`batched_logits_with`] on a view prepared from the
+/// same model.
+pub fn batched_logits_rematerializing_with<T: Sync>(
     model: &VisionTransformer,
     items: &[T],
     image: impl for<'a> Fn(&'a T) -> &'a Matrix + Sync,
     par: Parallelism,
 ) -> Vec<Matrix> {
-    let ranges: Vec<(usize, usize)> = (0..items.len())
-        .step_by(EVAL_BATCH)
-        .map(|start| (start, (start + EVAL_BATCH).min(items.len())))
-        .collect();
+    let ranges = chunk_ranges(items.len());
     let chunks = par_map(&ranges, par, |_, &(start, end)| {
-        let images: Vec<Matrix> = items[start..end].iter().map(|t| image(t).clone()).collect();
+        let images: Vec<&Matrix> = items[start..end].iter().map(&image).collect();
         model.forward_batch(&images)
     });
-    chunks
-        .iter()
-        .flat_map(|logits| (0..logits.rows()).map(|r| logits.slice_rows(r, r + 1)))
-        .collect()
+    split_rows(&chunks)
 }
 
-/// [`batched_logits_with`] over labeled samples.
-pub fn batched_logits(
+/// [`batched_logits_rematerializing_with`] over labeled samples.
+pub fn batched_logits_rematerializing(
     model: &VisionTransformer,
     samples: &[Sample],
     par: Parallelism,
 ) -> Vec<Matrix> {
-    batched_logits_with(model, samples, |s| &s.image, par)
+    batched_logits_rematerializing_with(model, samples, |s| &s.image, par)
+}
+
+fn chunk_ranges(len: usize) -> Vec<(usize, usize)> {
+    (0..len)
+        .step_by(EVAL_BATCH)
+        .map(|start| (start, (start + EVAL_BATCH).min(len)))
+        .collect()
+}
+
+fn split_rows(chunks: &[Matrix]) -> Vec<Matrix> {
+    chunks
+        .iter()
+        .flat_map(|logits| (0..logits.rows()).map(|r| logits.slice_rows(r, r + 1)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -68,6 +106,7 @@ mod tests {
     #[test]
     fn batched_logits_are_bit_identical_to_per_sample_infer() {
         let model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(0));
+        let prepared = model.prepare();
         // More samples than one chunk, with a ragged tail.
         let samples = Dataset::generate_difficulty_stripes(
             &DatasetConfig::small(),
@@ -77,7 +116,7 @@ mod tests {
         );
         assert!(samples.len() > EVAL_BATCH && !samples.len().is_multiple_of(EVAL_BATCH));
         for par in [Parallelism::Off, Parallelism::Fixed(4)] {
-            let logits = batched_logits(&model, &samples, par);
+            let logits = batched_logits(&prepared, &samples, par);
             assert_eq!(logits.len(), samples.len());
             for (i, s) in samples.iter().enumerate() {
                 assert_eq!(logits[i], model.infer(&s.image), "sample {i} under {par:?}");
@@ -86,8 +125,36 @@ mod tests {
     }
 
     #[test]
+    fn prepared_path_matches_rematerializing_baseline() {
+        // Satellite contract: the clone-free prepared path is bit-identical
+        // to the old per-chunk rematerializing path, for both quant modes
+        // and across worker counts.
+        for quant in [pivot_nn::QuantMode::None, pivot_nn::QuantMode::Int8] {
+            let mut model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(3));
+            model.set_quant_mode(quant);
+            let prepared = model.prepare();
+            let samples = Dataset::generate_difficulty_stripes(
+                &DatasetConfig::small(),
+                &[0.3, 0.7],
+                EVAL_BATCH / 2 + 2,
+                4,
+            );
+            for par in [
+                Parallelism::Off,
+                Parallelism::Fixed(2),
+                Parallelism::Fixed(7),
+            ] {
+                let new = batched_logits(&prepared, &samples, par);
+                let old = batched_logits_rematerializing(&model, &samples, par);
+                assert_eq!(new, old, "{quant:?} under {par:?}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_set_yields_no_logits() {
         let model = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(2));
-        assert!(batched_logits(&model, &[], Parallelism::Auto).is_empty());
+        assert!(batched_logits(&model.prepare(), &[], Parallelism::Auto).is_empty());
+        assert!(batched_logits_rematerializing(&model, &[], Parallelism::Auto).is_empty());
     }
 }

@@ -26,7 +26,7 @@ use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropies;
 use pivot_tensor::Matrix;
-use pivot_vit::VisionTransformer;
+use pivot_vit::{PreparedModel, VisionTransformer};
 
 /// One sample that produced non-finite values during a guarded evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,10 +106,18 @@ pub struct CascadeCache {
 
 impl CascadeCache {
     /// Runs low-effort inference over `samples` — batched through
-    /// [`forward_batch`](VisionTransformer::forward_batch) on the worker
-    /// pool — and caches logits, normalized entropies and argmax
-    /// predictions.
+    /// [`PreparedModel::forward_batch`] on the worker pool — and caches
+    /// logits, normalized entropies and argmax predictions.
+    ///
+    /// Prepares the model internally (weights materialized once for the
+    /// whole build). Callers that already hold a prepared view should use
+    /// [`CascadeCache::build_prepared`] to avoid re-preparing.
     pub fn build(low: &VisionTransformer, samples: &[Sample], par: Parallelism) -> Self {
+        Self::build_prepared(&low.prepare(), samples, par)
+    }
+
+    /// [`CascadeCache::build`] against an already-prepared inference view.
+    pub fn build_prepared(low: &PreparedModel, samples: &[Sample], par: Parallelism) -> Self {
         let low_logits = batched_logits(low, samples, par);
         let entropies = normalized_entropies(&low_logits);
         let low_predictions = low_logits.iter().map(|l| l.row_argmax(0)).collect();
@@ -180,16 +188,21 @@ impl CascadeCache {
     /// `lec`. Because the top boundary is inclusive, `F_L(1.0) = 1.0` and
     /// the iteration always terminates at or before 1.0.
     ///
+    /// Every probe is clamped to at most 1.0 *inside* the loop: a step that
+    /// does not divide 1.0 (e.g. 0.03) accumulates to 0.99999994 rather
+    /// than 1.0 in `f32`, and probing that value would miss the inclusive
+    /// `Th = 1.0` gate — the final probe must be exactly `1.0` bitwise.
+    ///
     /// # Panics
     ///
     /// Panics if `step` is not strictly positive.
     pub fn threshold_reaching(&self, lec: f64, step: f32) -> f32 {
         assert!(step > 0.0, "threshold step must be positive");
-        let mut threshold = step;
+        let mut threshold = step.min(1.0);
         while self.f_low_at(threshold) < lec && threshold < 1.0 {
-            threshold += step;
+            threshold = (threshold + step).min(1.0);
         }
-        threshold.min(1.0)
+        threshold
     }
 
     /// Evaluates the cascade against ground-truth labels at `threshold`:
@@ -210,6 +223,18 @@ impl CascadeCache {
         par: Parallelism,
     ) -> CascadeStats {
         self.evaluate_guarded(high, samples, threshold, par).0
+    }
+
+    /// [`Self::evaluate`] against an already-prepared high-effort view.
+    pub fn evaluate_prepared(
+        &self,
+        high: &PreparedModel,
+        samples: &[Sample],
+        threshold: f32,
+        par: Parallelism,
+    ) -> CascadeStats {
+        self.evaluate_guarded_prepared(high, samples, threshold, par)
+            .0
     }
 
     /// [`Self::evaluate`] with fault accounting (DESIGN.md §5).
@@ -236,6 +261,25 @@ impl CascadeCache {
     pub fn evaluate_guarded(
         &self,
         high: &VisionTransformer,
+        samples: &[Sample],
+        threshold: f32,
+        par: Parallelism,
+    ) -> (CascadeStats, DegradationReport) {
+        self.evaluate_guarded_prepared(&high.prepare(), samples, threshold, par)
+    }
+
+    /// [`Self::evaluate_guarded`] against an already-prepared high-effort
+    /// view — the form the cascade engines and Phase-2 sweeps use so the
+    /// high model's weights are materialized once per model instead of once
+    /// per evaluation call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not the set the cache was built from (length
+    /// check).
+    pub fn evaluate_guarded_prepared(
+        &self,
+        high: &PreparedModel,
         samples: &[Sample],
         threshold: f32,
         par: Parallelism,
@@ -390,6 +434,58 @@ mod tests {
         let capped = cache.threshold_reaching(2.0, 0.3);
         assert_eq!(capped, 1.0);
         assert_eq!(cache.f_low_at(capped), 1.0);
+    }
+
+    #[test]
+    fn threshold_reaching_clamps_non_dividing_steps_to_exactly_one() {
+        // A zero-head low model emits identical logits for every sample, so
+        // every normalized entropy is ~1.0 and only the inclusive Th = 1.0
+        // gate classifies anything at the low effort.
+        let mut low = model(26, &[0]);
+        let n = low.params_mut().len();
+        for pi in [n - 2, n - 1] {
+            low.params_mut()[pi].value.map_in_place(|_| 0.0);
+        }
+        let set = samples(10, 27);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        assert!(cache.entropies().iter().all(|&e| e > 0.999));
+        assert_eq!(cache.f_low_at(0.99), 0.0);
+        // 0.03 does not divide 1.0: accumulating it in f32 never lands on
+        // 1.0 exactly, so without the in-loop clamp the sweep would probe
+        // 0.99999994-style values and miss the inclusive gate. The final
+        // probe must be exactly 1.0 bitwise.
+        let th = cache.threshold_reaching(0.5, 0.03);
+        assert_eq!(th.to_bits(), 1.0f32.to_bits());
+        assert_eq!(cache.f_low_at(th), 1.0);
+        // A step larger than the whole range clamps on the first probe.
+        assert_eq!(
+            cache.threshold_reaching(0.5, 7.0).to_bits(),
+            1.0f32.to_bits()
+        );
+    }
+
+    #[test]
+    fn prepared_build_and_evaluate_match_unprepared() {
+        let low = model(28, &[0]);
+        let high = model(29, &[0, 1]);
+        let set = samples(14, 30);
+        let cache = CascadeCache::build(&low, &set, Parallelism::Off);
+        let cache_p = CascadeCache::build_prepared(&low.prepare(), &set, Parallelism::Fixed(3));
+        for i in 0..cache.len() {
+            assert_eq!(
+                cache.entropies()[i].to_bits(),
+                cache_p.entropies()[i].to_bits()
+            );
+            assert_eq!(cache.low_logits()[i], cache_p.low_logits()[i]);
+        }
+        let high_p = high.prepare();
+        for th in [0.0, 0.5, 1.0] {
+            assert_eq!(
+                cache.evaluate(&high, &set, th, Parallelism::Off),
+                cache_p.evaluate_prepared(&high_p, &set, th, Parallelism::Fixed(3)),
+                "Th={th}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::parallel::{par_map, Parallelism};
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
-use pivot_vit::VisionTransformer;
+use pivot_vit::{PreparedModel, VisionTransformer};
 
 /// The entropy gate of Fig. 2a: `true` when a sample with normalized
 /// entropy `entropy` stays at the low effort under threshold `threshold`.
@@ -144,6 +144,8 @@ impl CascadeStats {
 pub struct MultiEffortVit {
     low: VisionTransformer,
     high: VisionTransformer,
+    low_prepared: PreparedModel,
+    high_prepared: PreparedModel,
     threshold: f32,
     parallelism: Parallelism,
 }
@@ -151,6 +153,12 @@ pub struct MultiEffortVit {
 impl MultiEffortVit {
     /// Creates a cascade from a low- and a high-effort model and an entropy
     /// threshold `Th`.
+    ///
+    /// Both efforts are [prepared](VisionTransformer::prepare) here, once:
+    /// every quantizer is fitted and every effective weight materialized at
+    /// construction, and all inference — [`Self::infer`] and every batch
+    /// evaluation — runs against the frozen views. `MultiEffortVit` exposes
+    /// no weight-mutating API, so the views cannot go stale.
     ///
     /// # Panics
     ///
@@ -166,9 +174,13 @@ impl MultiEffortVit {
             high.config().num_classes,
             "efforts must share the class space"
         );
+        let low_prepared = low.prepare();
+        let high_prepared = high.prepare();
         Self {
             low,
             high,
+            low_prepared,
+            high_prepared,
             threshold,
             parallelism: Parallelism::Auto,
         }
@@ -218,6 +230,18 @@ impl MultiEffortVit {
         &self.high
     }
 
+    /// The frozen inference view of the low effort, prepared at
+    /// construction.
+    pub fn low_prepared(&self) -> &PreparedModel {
+        &self.low_prepared
+    }
+
+    /// The frozen inference view of the high effort, prepared at
+    /// construction.
+    pub fn high_prepared(&self) -> &PreparedModel {
+        &self.high_prepared
+    }
+
     /// Runs the input-difficulty-aware inference of Fig. 2a on one image.
     ///
     /// The cascade degrades gracefully: if the high-effort re-inference
@@ -227,7 +251,7 @@ impl MultiEffortVit {
     /// this path, so results are bit-identical to the pre-degradation
     /// engine.
     pub fn infer(&self, image: &Matrix) -> CascadeOutcome {
-        let logits_low = self.low.infer(image);
+        let logits_low = self.low_prepared.infer(image);
         let entropy_low = normalized_entropy(&logits_low);
         if stays_low(entropy_low, self.threshold) {
             CascadeOutcome {
@@ -238,7 +262,7 @@ impl MultiEffortVit {
                 logits: logits_low,
             }
         } else {
-            let logits_high = self.high.infer(image);
+            let logits_high = self.high_prepared.infer(image);
             if logits_high.is_all_finite() {
                 CascadeOutcome {
                     prediction: logits_high.row_argmax(0),
@@ -264,7 +288,7 @@ impl MultiEffortVit {
     /// pool. Threshold sweeps and repeated `F_L` queries should go
     /// through the cache instead of re-running inference per threshold.
     pub fn cache(&self, samples: &[Sample]) -> CascadeCache {
-        CascadeCache::build(&self.low, samples, self.parallelism)
+        CascadeCache::build_prepared(&self.low_prepared, samples, self.parallelism)
     }
 
     /// Evaluates the cascade on labeled samples, producing the paper's
@@ -284,8 +308,8 @@ impl MultiEffortVit {
     /// result is bit-identical to [`Self::evaluate_per_sample_with`] for
     /// every `par` and batch split.
     pub fn evaluate_with(&self, samples: &[Sample], par: Parallelism) -> CascadeStats {
-        CascadeCache::build(&self.low, samples, par).evaluate(
-            &self.high,
+        CascadeCache::build_prepared(&self.low_prepared, samples, par).evaluate_prepared(
+            &self.high_prepared,
             samples,
             self.threshold,
             par,
@@ -301,12 +325,13 @@ impl MultiEffortVit {
         &self,
         samples: &[Sample],
     ) -> (CascadeStats, crate::cache::DegradationReport) {
-        CascadeCache::build(&self.low, samples, self.parallelism).evaluate_guarded(
-            &self.high,
-            samples,
-            self.threshold,
-            self.parallelism,
-        )
+        CascadeCache::build_prepared(&self.low_prepared, samples, self.parallelism)
+            .evaluate_guarded_prepared(
+                &self.high_prepared,
+                samples,
+                self.threshold,
+                self.parallelism,
+            )
     }
 
     /// The pre-batching reference path: one [`Self::infer`] per sample on
@@ -361,8 +386,9 @@ impl MultiEffortVit {
                 hard_samples.push(sample);
             }
         }
-        let easy_logits = batched_logits_with(&self.low, &easy_samples, |s| &s.image, par);
-        let hard_logits = batched_logits_with(&self.high, &hard_samples, |s| &s.image, par);
+        let easy_logits = batched_logits_with(&self.low_prepared, &easy_samples, |s| &s.image, par);
+        let hard_logits =
+            batched_logits_with(&self.high_prepared, &hard_samples, |s| &s.image, par);
         let mut stats = CascadeStats::default();
         let (mut next_easy, mut next_hard) = (0, 0);
         for (i, sample) in samples.iter().enumerate() {

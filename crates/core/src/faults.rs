@@ -253,6 +253,31 @@ mod tests {
     }
 
     #[test]
+    fn int8_stuck_nan_faults_stay_visible_through_fake_quant() {
+        // Regression for the NaN-laundering bug: `QuantParams::quantize`
+        // saturating-cast NaN to 0 — the zero point — so fake-quantized
+        // Int8 inference silently dequantized injected NaNs to finite
+        // values and health checks (`is_all_finite`, guarded evaluation)
+        // never saw the fault. `fake_quant` must propagate non-finite
+        // values unchanged, and the prepared view must both surface NaN
+        // logits and count the corrupted weights as saturated.
+        let mut m = model(42);
+        m.set_quant_mode(pivot_nn::QuantMode::Int8);
+        FaultInjector::new(43).inject_params(&mut m, FaultKind::StuckNan, 10_000);
+        let logits = m.infer(&Matrix::zeros(16, 16));
+        assert!(
+            !logits.is_all_finite(),
+            "Int8 fake-quant must not launder stuck-NaN faults to finite logits"
+        );
+        let prepared = m.prepare();
+        assert!(!prepared.infer(&Matrix::zeros(16, 16)).is_all_finite());
+        assert!(
+            prepared.total_weight_saturation() > 0,
+            "NaN weights must register as saturation in the prepared params"
+        );
+    }
+
+    #[test]
     fn saturation_counters_localize_int8_faults() {
         let mut m = model(6);
         m.set_quant_mode(pivot_nn::QuantMode::Int8);

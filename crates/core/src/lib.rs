@@ -12,9 +12,10 @@
 //!   `F_L`, `F_H`).
 //! * [`cache`] — the entropy cache: low-effort logits computed once per
 //!   sample set, serving `F_L` queries and threshold sweeps in O(N).
-//! * [`batched`] — chunked `forward_batch` inference over sample sets:
-//!   one wide GEMM per layer per chunk, bit-identical to per-sample
-//!   inference.
+//! * [`batched`] — chunked `forward_batch` inference over sample sets
+//!   against a [`pivot_vit::PreparedModel`] view (weights materialized
+//!   once per sweep): one wide GEMM per layer per chunk, bit-identical to
+//!   per-sample inference.
 //! * [`parallel`] — the deterministic persistent worker pool behind
 //!   every batched evaluation ([`Parallelism`], [`par_map`]).
 //! * [`phase2`] — the hardware-in-the-loop search for the optimal effort
@@ -47,7 +48,10 @@ pub mod score;
 pub mod search_space;
 pub mod train_cost;
 
-pub use batched::{batched_logits, batched_logits_with, EVAL_BATCH};
+pub use batched::{
+    batched_logits, batched_logits_rematerializing, batched_logits_rematerializing_with,
+    batched_logits_with, EVAL_BATCH,
+};
 pub use cache::{CascadeCache, DegradationEvent, DegradationReport};
 pub use cascade::{stays_low, CascadeOutcome, CascadeStats, MultiEffortVit};
 pub use error::PivotError;

@@ -14,7 +14,7 @@ use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
-use pivot_vit::VisionTransformer;
+use pivot_vit::{PreparedModel, VisionTransformer};
 
 /// Outcome of one multi-level inference.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,12 +99,19 @@ impl LadderStats {
 #[derive(Debug, Clone)]
 pub struct EffortLadder {
     levels: Vec<VisionTransformer>,
+    prepared: Vec<PreparedModel>,
     thresholds: Vec<f32>,
 }
 
 impl EffortLadder {
     /// Creates a ladder from models ordered low effort -> high effort and
     /// `levels.len() - 1` thresholds.
+    ///
+    /// Every level is [prepared](VisionTransformer::prepare) here, once:
+    /// quantizers fitted and effective weights materialized at
+    /// construction, with all inference running against the frozen views.
+    /// The ladder exposes no weight-mutating API, so the views cannot go
+    /// stale.
     ///
     /// # Panics
     ///
@@ -125,7 +132,12 @@ impl EffortLadder {
             assert!(t >= prev, "thresholds must be non-decreasing");
             prev = t;
         }
-        Self { levels, thresholds }
+        let prepared = levels.iter().map(VisionTransformer::prepare).collect();
+        Self {
+            levels,
+            prepared,
+            thresholds,
+        }
     }
 
     /// Number of levels.
@@ -138,6 +150,12 @@ impl EffortLadder {
         &self.levels
     }
 
+    /// The frozen inference views of the levels, prepared at construction
+    /// (same order as [`Self::levels`]).
+    pub fn prepared_levels(&self) -> &[PreparedModel] {
+        &self.prepared
+    }
+
     /// The gate thresholds.
     pub fn thresholds(&self) -> &[f32] {
         &self.thresholds
@@ -147,11 +165,11 @@ impl EffortLadder {
     /// level is reached).
     pub fn infer(&self, image: &Matrix) -> LadderOutcome {
         let mut entropies = Vec::new();
-        for (i, model) in self.levels.iter().enumerate() {
+        for (i, model) in self.prepared.iter().enumerate() {
             let logits = model.infer(image);
             let entropy = normalized_entropy(&logits);
             entropies.push(entropy);
-            let is_last = i == self.levels.len() - 1;
+            let is_last = i == self.prepared.len() - 1;
             if is_last || entropy < self.thresholds[i] {
                 return LadderOutcome {
                     level: i,
@@ -194,7 +212,7 @@ impl EffortLadder {
         cache: &mut LadderCache,
         par: Parallelism,
     ) -> LadderStats {
-        cache.evaluate(&self.levels, samples, &self.thresholds, par)
+        cache.evaluate(&self.prepared, samples, &self.thresholds, par)
     }
 
     /// [`Self::evaluate`] through the batched pipeline without keeping the
@@ -212,7 +230,7 @@ impl EffortLadder {
         par: Parallelism,
     ) -> (LadderStats, DegradationReport) {
         self.cache(samples.len())
-            .evaluate_guarded(&self.levels, samples, &self.thresholds, par)
+            .evaluate_guarded(&self.prepared, samples, &self.thresholds, par)
     }
 
     /// Collapses the ladder into the paper's two-level [`CascadeStats`],
@@ -318,10 +336,10 @@ impl LadderCache {
     ///
     /// The gate matches [`EffortLadder::infer`] — strict `entropy <
     /// thresholds[level]`, last level accepts everything — and inference
-    /// goes through [`forward_batch`](VisionTransformer::forward_batch),
-    /// so the statistics are bit-identical to the sequential
-    /// [`EffortLadder::evaluate`] for every parallelism, batch split and
-    /// prior cache state.
+    /// goes through [`forward_batch`](PreparedModel::forward_batch) on the
+    /// prepared level views, so the statistics are bit-identical to the
+    /// sequential [`EffortLadder::evaluate`] for every parallelism, batch
+    /// split and prior cache state.
     ///
     /// # Panics
     ///
@@ -329,7 +347,7 @@ impl LadderCache {
     /// dimensions.
     pub fn evaluate(
         &mut self,
-        levels: &[VisionTransformer],
+        levels: &[PreparedModel],
         samples: &[Sample],
         thresholds: &[f32],
         par: Parallelism,
@@ -360,7 +378,7 @@ impl LadderCache {
     /// dimensions.
     pub fn evaluate_guarded(
         &mut self,
-        levels: &[VisionTransformer],
+        levels: &[PreparedModel],
         samples: &[Sample],
         thresholds: &[f32],
         par: Parallelism,
@@ -558,7 +576,12 @@ mod tests {
         assert_eq!(cache.len(), set.len());
 
         // A fully permissive bottom gate touches only level 0.
-        let loose = cache.evaluate(ladder.levels(), &set, &[1.0, 1.0], Parallelism::Off);
+        let loose = cache.evaluate(
+            ladder.prepared_levels(),
+            &set,
+            &[1.0, 1.0],
+            Parallelism::Off,
+        );
         let loose_ladder = EffortLadder::new(ladder.levels().to_vec(), vec![1.0, 1.0]);
         assert_eq!(loose, loose_ladder.evaluate(&set));
         assert_eq!(cache.cached_count(0), set.len());
@@ -569,7 +592,12 @@ mod tests {
         let level0_bits: Vec<u32> = (0..set.len())
             .map(|i| cache.entropy(0, i).expect("level 0 filled").to_bits())
             .collect();
-        let tight = cache.evaluate(ladder.levels(), &set, &[0.0, 0.0], Parallelism::Off);
+        let tight = cache.evaluate(
+            ladder.prepared_levels(),
+            &set,
+            &[0.0, 0.0],
+            Parallelism::Off,
+        );
         let tight_ladder = EffortLadder::new(ladder.levels().to_vec(), vec![0.0, 0.0]);
         assert_eq!(tight, tight_ladder.evaluate(&set));
         assert_eq!(cache.cached_count(1), set.len());
@@ -579,7 +607,12 @@ mod tests {
         }
 
         // A repeat evaluation answers entirely from the memo.
-        let again = cache.evaluate(ladder.levels(), &set, &[0.0, 0.0], Parallelism::Off);
+        let again = cache.evaluate(
+            ladder.prepared_levels(),
+            &set,
+            &[0.0, 0.0],
+            Parallelism::Off,
+        );
         assert_eq!(tight, again);
     }
 
@@ -590,7 +623,7 @@ mod tests {
         let ladder = EffortLadder::new(ms, vec![0.0, 0.0]);
         let mut cache = ladder.cache(set.len());
         cache.evaluate(
-            ladder.levels(),
+            ladder.prepared_levels(),
             &set,
             ladder.thresholds(),
             Parallelism::Fixed(2),

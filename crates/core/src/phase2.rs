@@ -6,7 +6,7 @@ use crate::parallel::Parallelism;
 use crate::{CascadeStats, PathConfig};
 use pivot_data::Sample;
 use pivot_sim::{combine_efforts, CombinedPerf, Simulator, VitGeometry};
-use pivot_vit::VisionTransformer;
+use pivot_vit::{PreparedModel, VisionTransformer};
 use std::collections::HashMap;
 
 /// One effort with its Phase-1 optimal path and fine-tuned model.
@@ -158,15 +158,23 @@ impl<'a> Phase2Search<'a> {
         });
 
         // Low-effort calibration logits are computed once per distinct low
-        // effort and reused across every pair sharing it.
+        // effort and reused across every pair sharing it; likewise each
+        // distinct high effort is prepared (quantizers fitted, effective
+        // weights materialized) once and reused across every pair.
         let mut low_caches: HashMap<usize, CascadeCache> = HashMap::new();
+        let mut prepared_highs: HashMap<usize, PreparedModel> = HashMap::new();
         for (li, hi) in pairs {
             let low = &self.efforts[li];
             let high = &self.efforts[hi];
             let cache = low_caches.entry(li).or_insert_with(|| {
                 CascadeCache::build(&low.model, self.calibration, self.parallelism)
             });
-            if let Some(result) = self.evaluate_pair_cached(low, high, cache, cfg, max_delay) {
+            let high_prepared = prepared_highs
+                .entry(hi)
+                .or_insert_with(|| high.model.prepare());
+            if let Some(result) =
+                self.evaluate_pair_prepared(low, high, high_prepared, cache, cfg, max_delay)
+            {
                 return Some(result);
             }
         }
@@ -208,11 +216,33 @@ impl<'a> Phase2Search<'a> {
         cfg: &Phase2Config,
         max_delay_ms: f64,
     ) -> Option<Phase2Result> {
+        self.evaluate_pair_prepared(low, high, &high.model.prepare(), cache, cfg, max_delay_ms)
+    }
+
+    /// [`Self::evaluate_pair_cached`] against an already-prepared
+    /// high-effort view — the innermost form [`Self::run`] uses so each
+    /// distinct high effort's weights are materialized once and reused
+    /// across every pair sharing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was not built from this searcher's calibration
+    /// batch (length check).
+    pub fn evaluate_pair_prepared(
+        &self,
+        low: &EffortModel,
+        high: &EffortModel,
+        high_prepared: &PreparedModel,
+        cache: &CascadeCache,
+        cfg: &Phase2Config,
+        max_delay_ms: f64,
+    ) -> Option<Phase2Result> {
         // Step 2-3: incremental threshold iteration until F_L >= LEC.
         let threshold = cache.threshold_reaching(cfg.lec, cfg.threshold_step);
 
         // Step 3-4: measure C_L/C_H/F_L/F_H and accuracy on the batch.
-        let stats = cache.evaluate(&high.model, self.calibration, threshold, self.parallelism);
+        let stats =
+            cache.evaluate_prepared(high_prepared, self.calibration, threshold, self.parallelism);
 
         // Step 5: hardware-in-the-loop delay of the combination.
         let perf_low = self.sim.simulate(self.geometry, &low.path.to_mask());

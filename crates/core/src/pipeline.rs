@@ -195,16 +195,21 @@ impl PivotPipeline {
 /// Computes the paper's CKA matrix (`CKA(MLP_i, A_j)`) from a model's
 /// traced activations on a calibration batch.
 ///
+/// The model is [prepared](VisionTransformer::prepare) once up front, so
+/// the whole batch of traced forward passes shares one fake-quant weight
+/// materialization instead of refitting quantizers per sample.
+///
 /// # Panics
 ///
 /// Panics if the batch is empty.
 pub fn compute_cka_matrix(model: &VisionTransformer, batch: &[&Sample]) -> CkaMatrix {
     assert!(!batch.is_empty(), "CKA batch must be non-empty");
     let depth = model.config().depth;
+    let prepared = model.prepare();
     let mut mlp_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(batch.len()); depth];
     let mut attn_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(batch.len()); depth];
     for sample in batch {
-        let trace = model.infer_traced(&sample.image);
+        let trace = prepared.infer_traced(&sample.image);
         for (i, (a, m)) in trace
             .attention_out
             .into_iter()

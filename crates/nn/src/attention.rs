@@ -85,6 +85,18 @@ impl MultiHeadAttention {
         self.proj.set_quant_mode(quant);
     }
 
+    /// Freezes the block into an immutable inference view (all four
+    /// projections prepared once; see [`Linear::prepare`]).
+    pub fn prepare(&self) -> crate::PreparedAttention {
+        crate::PreparedAttention {
+            wq: self.wq.prepare(),
+            wk: self.wk.prepare(),
+            wv: self.wv.prepare(),
+            proj: self.proj.prepare(),
+            heads: self.heads,
+        }
+    }
+
     /// Total quantization-saturated weights across all four projections
     /// (see [`Linear::weight_saturation`]).
     pub fn weight_saturation(&self) -> usize {

@@ -92,6 +92,19 @@ impl EncoderBlock {
         self.attn.weight_saturation() + self.mlp.weight_saturation()
     }
 
+    /// Freezes the block into an immutable inference view (attention and
+    /// MLP prepared once, layer norms and the skip switch snapshotted; see
+    /// [`crate::Linear::prepare`]).
+    pub fn prepare(&self) -> crate::PreparedEncoderBlock {
+        crate::PreparedEncoderBlock {
+            ln1: self.ln1.clone(),
+            attn: self.attn.prepare(),
+            ln2: self.ln2.clone(),
+            mlp: self.mlp.prepare(),
+            attention_active: self.attention_active,
+        }
+    }
+
     /// Inference-only forward, also returning the trace for CKA capture.
     pub fn infer_traced(&self, x: &Matrix) -> EncoderTrace {
         let after_attn = if self.attention_active {

@@ -27,6 +27,7 @@ mod mlp;
 mod norm;
 mod optim;
 mod param;
+mod prepared;
 
 pub use attention::MultiHeadAttention;
 pub use encoder::{EncoderBlock, EncoderTrace};
@@ -39,6 +40,7 @@ pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{Adam, AdamConfig, Sgd};
 pub use param::Param;
+pub use prepared::{PreparedAttention, PreparedEncoderBlock, PreparedLinear, PreparedMlp};
 
 /// A trainable component: forward caches, backward returns the input
 /// gradient and accumulates parameter gradients.

@@ -101,6 +101,31 @@ impl Linear {
             .add_row_broadcast(self.bias.value.row(0))
     }
 
+    /// Freezes the layer into an immutable inference view: fits the
+    /// quantizer once, materializes the effective weight once and computes
+    /// the saturation count from those same parameters. The view is
+    /// bit-identical to [`Linear::infer`] but does zero per-call weight
+    /// work; it snapshots the current weights, so any later mutation of the
+    /// layer requires re-preparing.
+    pub fn prepare(&self) -> crate::PreparedLinear {
+        let (w_eff, params) = match self.quant {
+            QuantMode::None => (self.weight.value.clone(), None),
+            QuantMode::Int8 => {
+                let qp = QuantParams::fit_symmetric(&self.weight.value);
+                (qp.fake_quant_matrix(&self.weight.value), Some(qp))
+            }
+        };
+        let saturation = params
+            .map(|qp| qp.saturation_count(self.weight.value.as_slice()))
+            .unwrap_or(0);
+        crate::PreparedLinear {
+            w_eff,
+            bias: self.bias.value.clone(),
+            params,
+            saturation,
+        }
+    }
+
     /// Number of weights this layer's quantizer cannot represent in-range.
     ///
     /// In `Int8` mode the symmetric fit ignores non-finite weights, so a

@@ -45,6 +45,15 @@ impl Mlp {
         self.fc2.infer(&self.fc1.infer(x).map(gelu))
     }
 
+    /// Freezes the block into an immutable inference view (both projections
+    /// prepared once; see [`Linear::prepare`]).
+    pub fn prepare(&self) -> crate::PreparedMlp {
+        crate::PreparedMlp {
+            fc1: self.fc1.prepare(),
+            fc2: self.fc2.prepare(),
+        }
+    }
+
     /// Sets the quantization mode on both projections.
     pub fn set_quant_mode(&mut self, quant: QuantMode) {
         self.fc1.set_quant_mode(quant);

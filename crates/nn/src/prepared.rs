@@ -1,0 +1,356 @@
+//! Frozen inference views: quantization fitted once, weights materialized
+//! once, then reused for every forward.
+//!
+//! [`crate::Linear::infer`] refits [`QuantParams`] and materializes a full
+//! fake-quantized weight copy on *every* call — once per layer per 32-sample
+//! chunk in the batched evaluator, thousands of times per Phase-2 sweep. The
+//! `Prepared*` structs in this module are the amortized counterpart: built
+//! once from a trained layer by the `prepare()` methods, they hold the
+//! effective weight (and the quantizer that produced it) as plain immutable
+//! data, so repeated inference does zero per-call weight work and the whole
+//! view is `Send + Sync` for free sharing across the worker pool.
+//!
+//! A prepared view is a *snapshot*: any mutation of the source layer
+//! (training steps, `set_quant_mode`, fault injection into the latent
+//! weights) invalidates it and requires calling `prepare()` again.
+
+use crate::LayerNorm;
+use pivot_tensor::{gelu, softmax_row, Matrix, QuantParams};
+
+/// Frozen inference view of a [`crate::Linear`] layer.
+///
+/// Holds the effective (fake-quantized in `Int8` mode) weight, the bias row,
+/// the quantizer that produced the weight and the saturation count computed
+/// from those same parameters — so health checks report exactly what the
+/// forward pass runs on.
+#[derive(Debug, Clone)]
+pub struct PreparedLinear {
+    pub(crate) w_eff: Matrix,
+    pub(crate) bias: Matrix,
+    pub(crate) params: Option<QuantParams>,
+    pub(crate) saturation: usize,
+}
+
+impl PreparedLinear {
+    /// Inference forward `y = x W_eff + b`; bit-identical to
+    /// [`crate::Linear::infer`] on the layer this view was prepared from.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w_eff).add_row_broadcast(self.bias.row(0))
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w_eff.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w_eff.cols()
+    }
+
+    /// The quantizer the effective weight was materialized with (`None` in
+    /// full-precision mode).
+    pub fn quant_params(&self) -> Option<QuantParams> {
+        self.params
+    }
+
+    /// Number of latent weights the quantizer could not represent in-range,
+    /// computed at prepare time from the same [`QuantParams`] the forward
+    /// pass uses. Always 0 in full-precision mode.
+    pub fn weight_saturation(&self) -> usize {
+        self.saturation
+    }
+}
+
+/// Frozen inference view of a [`crate::MultiHeadAttention`] block.
+#[derive(Debug, Clone)]
+pub struct PreparedAttention {
+    pub(crate) wq: PreparedLinear,
+    pub(crate) wk: PreparedLinear,
+    pub(crate) wv: PreparedLinear,
+    pub(crate) proj: PreparedLinear,
+    pub(crate) heads: usize,
+}
+
+impl PreparedAttention {
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.wq.in_dim()
+    }
+
+    /// Per-head dimensionality `d_h = dim / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.dim() / self.heads
+    }
+
+    /// Total saturated weights across the four projections.
+    pub fn weight_saturation(&self) -> usize {
+        self.wq.saturation + self.wk.saturation + self.wv.saturation + self.proj.saturation
+    }
+
+    /// Per-sample inference; bit-identical to
+    /// [`crate::MultiHeadAttention::infer`] on the source block.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let t = x.rows();
+        let mut out = Matrix::zeros(t, self.dim());
+        for h in 0..self.heads {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            let mut scores = qh.matmul_transpose_b(&kh);
+            scores.scale_in_place(scale);
+            for r in 0..t {
+                let soft = softmax_row(scores.row(r));
+                scores.row_mut(r).copy_from_slice(&soft);
+            }
+            let oh = scores.matmul(&vh);
+            for r in 0..t {
+                for c in 0..dh {
+                    out[(r, lo + c)] = oh[(r, c)];
+                }
+            }
+        }
+        self.proj.infer(&out)
+    }
+
+    /// Batched inference over samples stacked along rows (`tokens` rows
+    /// each); bit-identical to [`crate::MultiHeadAttention::infer_batch`] on
+    /// the source block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens == 0` or `x.rows()` is not divisible by `tokens`.
+    pub fn infer_batch(&self, x: &Matrix, tokens: usize) -> Matrix {
+        assert!(
+            tokens > 0 && x.rows().is_multiple_of(tokens),
+            "batch rows {} not divisible by tokens {tokens}",
+            x.rows()
+        );
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let n = x.rows() / tokens;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut out = Matrix::zeros(x.rows(), self.dim());
+        let mut scores = Matrix::zeros(tokens, tokens);
+        let mut oh = Matrix::zeros(tokens, dh);
+        for s in 0..n {
+            let (r0, r1) = (s * tokens, (s + 1) * tokens);
+            let qs = q.slice_rows(r0, r1);
+            let ks = k.slice_rows(r0, r1);
+            let vs = v.slice_rows(r0, r1);
+            for h in 0..self.heads {
+                let (lo, hi) = (h * dh, (h + 1) * dh);
+                let qh = qs.slice_cols(lo, hi);
+                let kh = ks.slice_cols(lo, hi);
+                let vh = vs.slice_cols(lo, hi);
+                qh.matmul_transpose_b_into(&kh, &mut scores);
+                scores.scale_in_place(scale);
+                for r in 0..tokens {
+                    let soft = softmax_row(scores.row(r));
+                    scores.row_mut(r).copy_from_slice(&soft);
+                }
+                scores.matmul_into(&vh, &mut oh);
+                for r in 0..tokens {
+                    out.row_mut(r0 + r)[lo..hi].copy_from_slice(oh.row(r));
+                }
+            }
+        }
+        self.proj.infer(&out)
+    }
+}
+
+/// Frozen inference view of a [`crate::Mlp`] block.
+#[derive(Debug, Clone)]
+pub struct PreparedMlp {
+    pub(crate) fc1: PreparedLinear,
+    pub(crate) fc2: PreparedLinear,
+}
+
+impl PreparedMlp {
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.fc1.out_dim()
+    }
+
+    /// Total saturated weights across both projections.
+    pub fn weight_saturation(&self) -> usize {
+        self.fc1.saturation + self.fc2.saturation
+    }
+
+    /// Inference forward; bit-identical to [`crate::Mlp::infer`] on the
+    /// source block.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.fc2.infer(&self.fc1.infer(x).map(gelu))
+    }
+}
+
+/// Frozen inference view of an [`crate::EncoderBlock`].
+///
+/// Layer norms have no quantized weights, so the view carries plain clones
+/// of them; the attention and MLP sub-blocks are prepared. The skip switch
+/// is captured at prepare time.
+#[derive(Debug, Clone)]
+pub struct PreparedEncoderBlock {
+    pub(crate) ln1: LayerNorm,
+    pub(crate) attn: PreparedAttention,
+    pub(crate) ln2: LayerNorm,
+    pub(crate) mlp: PreparedMlp,
+    pub(crate) attention_active: bool,
+}
+
+impl PreparedEncoderBlock {
+    /// Whether the attention sub-block participates in the forward pass
+    /// (captured when the view was prepared).
+    pub fn attention_active(&self) -> bool {
+        self.attention_active
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.attn.dim()
+    }
+
+    /// Total saturated weights; like
+    /// [`crate::EncoderBlock::weight_saturation`], skipped attentions still
+    /// count — their weights stay resident in (simulated) SRAM.
+    pub fn weight_saturation(&self) -> usize {
+        self.attn.weight_saturation() + self.mlp.weight_saturation()
+    }
+
+    /// Traced per-sample inference; bit-identical to
+    /// [`crate::EncoderBlock::infer_traced`] on the source block.
+    pub fn infer_traced(&self, x: &Matrix) -> crate::EncoderTrace {
+        let after_attn = if self.attention_active {
+            let mut a = self.attn.infer(&self.ln1.infer(x));
+            a.add_scaled_in_place(x, 1.0);
+            a
+        } else {
+            x.clone()
+        };
+        let mut out = self.mlp.infer(&self.ln2.infer(&after_attn));
+        out.add_scaled_in_place(&after_attn, 1.0);
+        crate::EncoderTrace {
+            attention_out: after_attn,
+            mlp_out: out,
+        }
+    }
+
+    /// Per-sample inference; bit-identical to [`crate::EncoderBlock::infer`]
+    /// on the source block.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.infer_traced(x).mlp_out
+    }
+
+    /// Batched inference over samples stacked along rows; bit-identical to
+    /// [`crate::EncoderBlock::infer_batch`] on the source block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens == 0` or `x.rows()` is not divisible by `tokens`.
+    pub fn infer_batch(&self, x: &Matrix, tokens: usize) -> Matrix {
+        let after_attn = if self.attention_active {
+            let mut a = self.attn.infer_batch(&self.ln1.infer(x), tokens);
+            a.add_scaled_in_place(x, 1.0);
+            a
+        } else {
+            x.clone()
+        };
+        let mut out = self.mlp.infer(&self.ln2.infer(&after_attn));
+        out.add_scaled_in_place(&after_attn, 1.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EncoderBlock, Layer, Linear, Mlp, MultiHeadAttention, QuantMode};
+    use pivot_tensor::Rng;
+
+    #[test]
+    fn prepared_linear_is_bit_identical() {
+        let mut rng = Rng::new(20);
+        for quant in [QuantMode::None, QuantMode::Int8] {
+            let lin = Linear::new(6, 4, quant, &mut rng);
+            let prepared = lin.prepare();
+            let x = Matrix::randn(3, 6, 1.0, &mut rng);
+            assert_eq!(prepared.infer(&x), lin.infer(&x), "{quant:?}");
+        }
+    }
+
+    #[test]
+    fn prepared_linear_saturation_matches_refit() {
+        let mut rng = Rng::new(21);
+        let mut lin = Linear::new(5, 5, QuantMode::Int8, &mut rng);
+        lin.params_mut()[0].value.as_mut_slice()[7] = f32::NAN;
+        assert_eq!(lin.prepare().weight_saturation(), lin.weight_saturation());
+        assert_eq!(lin.prepare().weight_saturation(), 1);
+    }
+
+    #[test]
+    fn prepared_attention_matches_both_entry_points() {
+        let mut rng = Rng::new(22);
+        for quant in [QuantMode::None, QuantMode::Int8] {
+            let attn = MultiHeadAttention::new(8, 2, quant, &mut rng);
+            let prepared = attn.prepare();
+            let x = Matrix::randn(5, 8, 1.0, &mut rng);
+            assert_eq!(prepared.infer(&x), attn.infer(&x), "{quant:?}");
+            let stacked = x.vcat(&x);
+            assert_eq!(
+                prepared.infer_batch(&stacked, 5),
+                attn.infer_batch(&stacked, 5),
+                "{quant:?} batched"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_mlp_is_bit_identical() {
+        let mut rng = Rng::new(23);
+        let mlp = Mlp::new(6, 12, QuantMode::Int8, &mut rng);
+        let x = Matrix::randn(4, 6, 1.0, &mut rng);
+        assert_eq!(mlp.prepare().infer(&x), mlp.infer(&x));
+    }
+
+    #[test]
+    fn prepared_encoder_matches_active_and_skipped() {
+        for active in [true, false] {
+            let mut rng = Rng::new(24);
+            let mut enc = EncoderBlock::new(6, 2, 12, QuantMode::Int8, &mut rng);
+            enc.set_attention_active(active);
+            let prepared = enc.prepare();
+            assert_eq!(prepared.attention_active(), active);
+            let x = Matrix::randn(4, 6, 1.0, &mut rng);
+            assert_eq!(prepared.infer(&x), enc.infer(&x), "active={active}");
+            let stacked = x.vcat(&x);
+            assert_eq!(
+                prepared.infer_batch(&stacked, 4),
+                enc.infer_batch(&stacked, 4),
+                "active={active} batched"
+            );
+            assert_eq!(prepared.weight_saturation(), enc.weight_saturation());
+        }
+    }
+
+    #[test]
+    fn prepared_views_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedLinear>();
+        assert_send_sync::<PreparedAttention>();
+        assert_send_sync::<PreparedMlp>();
+        assert_send_sync::<PreparedEncoderBlock>();
+    }
+}

@@ -97,7 +97,17 @@ impl QuantParams {
     }
 
     /// Quantizes one value to `i8`.
+    ///
+    /// No 8-bit code represents a non-finite value: `±inf` saturates to the
+    /// range endpoints, and NaN is pinned to `i8::MAX`. (The naive
+    /// `(NaN / scale).round() as i32` would saturating-cast to 0, laundering
+    /// a corrupted value into the zero point — an exact, healthy-looking
+    /// 0.0 after dequantization.) Non-finite inputs always register in
+    /// [`QuantParams::saturation_count`].
     pub fn quantize(&self, x: f32) -> i8 {
+        if x.is_nan() {
+            return i8::MAX;
+        }
         let q = (x / self.scale).round() as i32 + self.zero_point;
         q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
     }
@@ -108,7 +118,16 @@ impl QuantParams {
     }
 
     /// Quantize-then-dequantize round trip of one value (fake quant).
+    ///
+    /// Non-finite inputs pass through unchanged: fake quantization emulates
+    /// deployment numerics for *healthy* values, while a NaN or ±inf is a
+    /// fault signal that must stay visible to downstream health checks
+    /// (`Matrix::is_all_finite`, the cascade's guarded evaluation) rather
+    /// than being rounded to an in-range code.
     pub fn fake_quant(&self, x: f32) -> f32 {
+        if !x.is_finite() {
+            return x;
+        }
         self.dequantize(self.quantize(x))
     }
 
@@ -267,6 +286,31 @@ mod tests {
     fn out_of_range_values_saturate_under_fixed_params() {
         let qp = QuantParams::new(1.0, 0);
         assert_eq!(qp.saturation_count(&[0.0, 127.0, 128.0, -129.0, 1e9]), 3);
+    }
+
+    #[test]
+    fn nan_is_not_laundered_to_the_zero_point() {
+        // Regression: `(NaN / scale).round() as i32` saturating-casts to 0,
+        // so NaN used to quantize to the zero point and dequantize to an
+        // exact 0.0 — invisible to every health check downstream.
+        let qp = QuantParams::new(0.5, -3);
+        assert_eq!(qp.quantize(f32::NAN), i8::MAX);
+        assert!(qp.fake_quant(f32::NAN).is_nan());
+        assert_eq!(qp.fake_quant(f32::INFINITY), f32::INFINITY);
+        assert_eq!(qp.fake_quant(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        // And they all count as saturated.
+        let sat = qp.saturation_count(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(sat, 3);
+    }
+
+    #[test]
+    fn fake_quant_matrix_keeps_nan_visible() {
+        let mut rng = Rng::new(13);
+        let mut m = Matrix::randn(4, 4, 1.0, &mut rng);
+        m.as_mut_slice()[5] = f32::NAN;
+        let qp = QuantParams::fit_symmetric(&m);
+        let fq = qp.fake_quant_matrix(&m);
+        assert!(fq.as_slice()[5].is_nan(), "NaN must survive fake quant");
     }
 
     #[test]

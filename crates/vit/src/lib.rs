@@ -20,11 +20,13 @@
 mod config;
 mod io;
 mod model;
+mod prepared;
 mod train;
 
 pub use config::{ConfigError, VitConfig};
 pub use io::{crc32, CheckpointError};
 pub use model::{ForwardTrace, VisionTransformer};
+pub use prepared::PreparedModel;
 pub use train::{EpochStats, TrainConfig, Trainer};
 
 #[cfg(test)]
@@ -34,6 +36,7 @@ mod thread_safety {
     #[test]
     fn model_types_are_send_and_sync() {
         assert_send_sync::<crate::VisionTransformer>();
+        assert_send_sync::<crate::PreparedModel>();
         assert_send_sync::<crate::VitConfig>();
         assert_send_sync::<crate::Trainer>();
     }

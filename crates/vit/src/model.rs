@@ -139,15 +139,31 @@ impl VisionTransformer {
     ///
     /// Panics if the image shape does not match the configuration.
     pub fn patchify(&self, image: &Matrix) -> Matrix {
-        let s = self.config.image_size;
-        let p = self.config.patch_size;
-        assert_eq!(image.shape(), (s, s), "image shape mismatch");
-        let per_side = s / p;
-        Matrix::from_fn(per_side * per_side, p * p, |patch, idx| {
-            let (pr, pc) = (patch / per_side, patch % per_side);
-            let (dr, dc) = (idx / p, idx % p);
-            image[(pr * p + dr, pc * p + dc)]
-        })
+        patchify_image(&self.config, image)
+    }
+
+    /// Freezes the model into an immutable [`crate::PreparedModel`]
+    /// inference view: every [`Linear`] (patch embed, Q/K/V, projections,
+    /// MLPs, head) fits its quantizer and materializes its effective weight
+    /// exactly once. The view is bit-identical to this model's
+    /// `infer`/`infer_traced`/`forward_batch` but does zero per-call weight
+    /// work, and it is `Send + Sync` so one instance can serve the whole
+    /// worker pool.
+    ///
+    /// The view snapshots the current weights, quantization mode and
+    /// attention-skip pattern; any mutation of the model afterwards
+    /// (training, `set_quant_mode`, `set_active_attentions`, fault
+    /// injection) requires calling `prepare()` again.
+    pub fn prepare(&self) -> crate::PreparedModel {
+        crate::PreparedModel {
+            config: self.config.clone(),
+            patch_embed: self.patch_embed.prepare(),
+            cls_token: self.cls_token.value.clone(),
+            pos_embed: self.pos_embed.value.clone(),
+            blocks: self.blocks.iter().map(|b| b.prepare()).collect(),
+            norm: self.norm.clone(),
+            head: self.head.prepare(),
+        }
     }
 
     fn embed(&self, image: &Matrix) -> (Matrix, Matrix) {
@@ -228,7 +244,11 @@ impl VisionTransformer {
     /// `self.infer(&images[i])` — for any batch size, including ragged
     /// tails and a batch of one. Takes `&self`: one model instance can be
     /// shared across worker threads without cloning.
-    pub fn forward_batch(&self, images: &[Matrix]) -> Matrix {
+    ///
+    /// Accepts both owned rows (`&[Matrix]`) and borrowed rows
+    /// (`&[&Matrix]`), so callers batching over a larger dataset can pass
+    /// references instead of cloning every image into the batch.
+    pub fn forward_batch<M: std::borrow::Borrow<Matrix>>(&self, images: &[M]) -> Matrix {
         let n = images.len();
         let dim = self.config.dim;
         if n == 0 {
@@ -236,7 +256,7 @@ impl VisionTransformer {
         }
         let t = self.config.tokens();
         // One wide patch-embed GEMM over all images' patches.
-        let patches: Vec<Matrix> = images.iter().map(|im| self.patchify(im)).collect();
+        let patches: Vec<Matrix> = images.iter().map(|im| self.patchify(im.borrow())).collect();
         let embedded = self
             .patch_embed
             .infer(Batch::from_samples(&patches).as_matrix());
@@ -391,6 +411,25 @@ impl VisionTransformer {
     }
 }
 
+/// Shared patchify kernel: splits an image into flattened patches, one patch
+/// per row. Used by both [`VisionTransformer`] and [`crate::PreparedModel`]
+/// so the two views cannot diverge.
+///
+/// # Panics
+///
+/// Panics if the image shape does not match the configuration.
+pub(crate) fn patchify_image(config: &VitConfig, image: &Matrix) -> Matrix {
+    let s = config.image_size;
+    let p = config.patch_size;
+    assert_eq!(image.shape(), (s, s), "image shape mismatch");
+    let per_side = s / p;
+    Matrix::from_fn(per_side * per_side, p * p, |patch, idx| {
+        let (pr, pc) = (patch / per_side, patch % per_side);
+        let (dr, dc) = (idx / p, idx % p);
+        image[(pr * p + dr, pc * p + dc)]
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,7 +543,18 @@ mod tests {
     #[test]
     fn forward_batch_empty_is_empty() {
         let model = tiny_model(10);
-        assert_eq!(model.forward_batch(&[]).shape(), (0, 4));
+        assert_eq!(model.forward_batch::<Matrix>(&[]).shape(), (0, 4));
+    }
+
+    #[test]
+    fn forward_batch_borrowed_rows_match_owned() {
+        let model = tiny_model(14);
+        let mut rng = Rng::new(15);
+        let images: Vec<Matrix> = (0..3)
+            .map(|_| Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng))
+            .collect();
+        let borrowed: Vec<&Matrix> = images.iter().collect();
+        assert_eq!(model.forward_batch(&borrowed), model.forward_batch(&images));
     }
 
     #[test]

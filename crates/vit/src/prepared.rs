@@ -1,0 +1,325 @@
+//! The frozen whole-model inference view.
+//!
+//! [`PreparedModel`] is the amortized counterpart of
+//! [`VisionTransformer`](crate::VisionTransformer)'s inference methods: built once by
+//! [`VisionTransformer::prepare`](crate::VisionTransformer::prepare), it holds every layer's effective
+//! (fake-quantized) weight as immutable data, so repeated inference —
+//! batched evaluation sweeps, cascade calibration, CKA scoring — does zero
+//! per-call quantizer fitting or weight materialization. All entry points
+//! are bit-identical to the unprepared model they were prepared from.
+
+use crate::model::patchify_image;
+use crate::{ForwardTrace, VitConfig};
+use pivot_nn::{LayerNorm, PreparedEncoderBlock, PreparedLinear};
+use pivot_tensor::{Batch, Matrix};
+
+/// Immutable inference view of a [`VisionTransformer`](crate::VisionTransformer).
+///
+/// Plain data (`Send + Sync`): one instance can be shared by reference
+/// across the whole worker pool without cloning or locking. Snapshots the
+/// weights, quantization mode and attention-skip pattern at prepare time —
+/// mutate the source model and the view is stale; call
+/// [`VisionTransformer::prepare`](crate::VisionTransformer::prepare) again.
+///
+/// # Example
+///
+/// ```
+/// use pivot_tensor::{Matrix, Rng};
+/// use pivot_vit::{VisionTransformer, VitConfig};
+///
+/// let cfg = VitConfig::test_small();
+/// let model = VisionTransformer::new(&cfg, &mut Rng::new(0));
+/// let prepared = model.prepare();
+/// let image = Matrix::zeros(cfg.image_size, cfg.image_size);
+/// assert_eq!(prepared.infer(&image), model.infer(&image));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    pub(crate) config: VitConfig,
+    pub(crate) patch_embed: PreparedLinear,
+    pub(crate) cls_token: Matrix,
+    pub(crate) pos_embed: Matrix,
+    pub(crate) blocks: Vec<PreparedEncoderBlock>,
+    pub(crate) norm: LayerNorm,
+    pub(crate) head: PreparedLinear,
+}
+
+impl PreparedModel {
+    /// The configuration of the model this view was prepared from.
+    pub fn config(&self) -> &VitConfig {
+        &self.config
+    }
+
+    /// Number of active attention modules captured at prepare time (the
+    /// paper's effort).
+    pub fn effort(&self) -> usize {
+        self.blocks.iter().filter(|b| b.attention_active()).count()
+    }
+
+    /// Encoder indices whose attention modules were active at prepare time.
+    pub fn active_attentions(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.attention_active().then_some(i))
+            .collect()
+    }
+
+    /// The prepared encoder blocks (read-only).
+    pub fn encoder_blocks(&self) -> &[PreparedEncoderBlock] {
+        &self.blocks
+    }
+
+    fn embed(&self, image: &Matrix) -> Matrix {
+        let patches = patchify_image(&self.config, image);
+        let embedded = self.patch_embed.infer(&patches);
+        let tokens = self.cls_token.vcat(&embedded);
+        &tokens + &self.pos_embed
+    }
+
+    /// Inference returning logits (`1 x num_classes`); bit-identical to
+    /// [`VisionTransformer::infer`](crate::VisionTransformer::infer) on the source model.
+    pub fn infer(&self, image: &Matrix) -> Matrix {
+        self.infer_traced(image).logits
+    }
+
+    /// Traced inference capturing per-encoder activations for CKA analysis;
+    /// bit-identical to [`VisionTransformer::infer_traced`](crate::VisionTransformer::infer_traced) on the source
+    /// model.
+    pub fn infer_traced(&self, image: &Matrix) -> ForwardTrace {
+        let mut x = self.embed(image);
+        let mut attention_out = Vec::with_capacity(self.blocks.len());
+        let mut mlp_out = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let trace = block.infer_traced(&x);
+            x = trace.mlp_out.clone();
+            attention_out.push(trace.attention_out);
+            mlp_out.push(trace.mlp_out);
+        }
+        let normed = self.norm.infer(&x);
+        let cls_feature = normed.slice_rows(0, 1);
+        let logits = self.head.infer(&cls_feature);
+        ForwardTrace {
+            attention_out,
+            mlp_out,
+            cls_feature,
+            logits,
+        }
+    }
+
+    /// Batched inference: one logits row per image, bit-identical to
+    /// [`VisionTransformer::forward_batch`](crate::VisionTransformer::forward_batch) on the source model (and hence
+    /// to per-sample [`PreparedModel::infer`]).
+    ///
+    /// Accepts owned (`&[Matrix]`) or borrowed (`&[&Matrix]`) rows, so
+    /// chunked evaluators can pass references into their dataset instead of
+    /// cloning every image.
+    pub fn forward_batch<M: std::borrow::Borrow<Matrix>>(&self, images: &[M]) -> Matrix {
+        let n = images.len();
+        let dim = self.config.dim;
+        if n == 0 {
+            return Matrix::zeros(0, self.config.num_classes);
+        }
+        let t = self.config.tokens();
+        let patches: Vec<Matrix> = images
+            .iter()
+            .map(|im| patchify_image(&self.config, im.borrow()))
+            .collect();
+        let embedded = self
+            .patch_embed
+            .infer(Batch::from_samples(&patches).as_matrix());
+        let mut x = Matrix::zeros(n * t, dim);
+        for s in 0..n {
+            let base = s * t;
+            x.row_mut(base).copy_from_slice(self.cls_token.row(0));
+            x.rows_mut(base + 1, base + t)
+                .copy_from_slice(embedded.rows_slice(s * (t - 1), (s + 1) * (t - 1)));
+            for r in 0..t {
+                for (o, &p) in x.row_mut(base + r).iter_mut().zip(self.pos_embed.row(r)) {
+                    *o += p;
+                }
+            }
+        }
+        for block in &self.blocks {
+            x = block.infer_batch(&x, t);
+        }
+        let mut cls = Matrix::zeros(n, dim);
+        for s in 0..n {
+            cls.row_mut(s).copy_from_slice(x.row(s * t));
+        }
+        self.head.infer(&self.norm.infer(&cls))
+    }
+
+    /// Per-layer quantization-saturation counters, labeled exactly like
+    /// [`VisionTransformer::quant_saturation_report`](crate::VisionTransformer::quant_saturation_report) — but computed once at
+    /// prepare time from the *same* [`pivot_tensor::QuantParams`] the
+    /// forward pass runs on, so health checks and numerics cannot disagree.
+    pub fn quant_saturation_report(&self) -> Vec<(String, usize)> {
+        let mut report = vec![(
+            "patch_embed".to_string(),
+            self.patch_embed.weight_saturation(),
+        )];
+        for (i, block) in self.blocks.iter().enumerate() {
+            report.push((format!("enc{i}"), block.weight_saturation()));
+        }
+        report.push(("head".to_string(), self.head.weight_saturation()));
+        report
+    }
+
+    /// Sum of [`PreparedModel::quant_saturation_report`] over all layers.
+    pub fn total_weight_saturation(&self) -> usize {
+        self.quant_saturation_report().iter().map(|(_, n)| n).sum()
+    }
+
+    /// Classification accuracy over labeled samples (per-sample loop; use
+    /// the batched evaluators in `pivot-core` for large sets).
+    pub fn accuracy(&self, samples: &[pivot_data::Sample]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.infer(&s.image).row_argmax(0) == s.label)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VisionTransformer;
+    use pivot_nn::QuantMode;
+    use pivot_tensor::Rng;
+    use proptest::prelude::*;
+
+    fn model(seed: u64, quant: QuantMode, active: &[usize]) -> VisionTransformer {
+        let cfg = VitConfig {
+            quant,
+            ..VitConfig::test_small()
+        };
+        let mut m = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+        m.set_active_attentions(active);
+        m
+    }
+
+    #[test]
+    fn prepared_infer_is_bit_identical() {
+        for quant in [QuantMode::None, QuantMode::Int8] {
+            let m = model(30, quant, &[0, 2]);
+            let prepared = m.prepare();
+            let mut rng = Rng::new(31);
+            for _ in 0..4 {
+                let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+                assert_eq!(prepared.infer(&img), m.infer(&img), "{quant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_trace_is_bit_identical() {
+        let m = model(32, QuantMode::Int8, &[1, 3]);
+        let prepared = m.prepare();
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut Rng::new(33));
+        let a = prepared.infer_traced(&img);
+        let b = m.infer_traced(&img);
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.cls_feature, b.cls_feature);
+        assert_eq!(a.attention_out, b.attention_out);
+        assert_eq!(a.mlp_out, b.mlp_out);
+    }
+
+    #[test]
+    fn prepared_forward_batch_is_bit_identical() {
+        for quant in [QuantMode::None, QuantMode::Int8] {
+            let m = model(34, quant, &[0, 1, 2, 3]);
+            let prepared = m.prepare();
+            let mut rng = Rng::new(35);
+            for batch_size in [4usize, 3, 1] {
+                let images: Vec<Matrix> = (0..batch_size)
+                    .map(|_| Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng))
+                    .collect();
+                let borrowed: Vec<&Matrix> = images.iter().collect();
+                assert_eq!(
+                    prepared.forward_batch(&borrowed),
+                    m.forward_batch(&images),
+                    "{quant:?} batch {batch_size}"
+                );
+            }
+            assert_eq!(
+                prepared.forward_batch::<Matrix>(&[]).shape(),
+                (0, m.config().num_classes)
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_saturation_matches_per_call_refit() {
+        let mut m = model(36, QuantMode::Int8, &[0, 2]);
+        // Corrupt one weight so the counters are non-trivial.
+        m.params_mut()[0].value.as_mut_slice()[11] = f32::NAN;
+        let prepared = m.prepare();
+        assert_eq!(
+            prepared.quant_saturation_report(),
+            m.quant_saturation_report()
+        );
+        assert_eq!(
+            prepared.total_weight_saturation(),
+            m.total_weight_saturation()
+        );
+        assert!(prepared.total_weight_saturation() >= 1);
+    }
+
+    #[test]
+    fn prepared_snapshot_goes_stale_on_mutation() {
+        let mut m = model(37, QuantMode::Int8, &[0, 1, 2, 3]);
+        let prepared = m.prepare();
+        let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut Rng::new(38));
+        let before = m.infer(&img);
+        assert_eq!(prepared.infer(&img), before);
+        // Mutating the source model leaves the view on the old weights: the
+        // documented invalidation rule (mutation => re-prepare).
+        m.set_active_attentions(&[]);
+        assert_ne!(m.effort(), prepared.effort());
+        assert_eq!(prepared.infer(&img), before);
+        assert_eq!(m.prepare().infer(&img), m.infer(&img));
+    }
+
+    #[test]
+    fn prepared_metadata_mirrors_source() {
+        let m = model(39, QuantMode::Int8, &[1, 3]);
+        let prepared = m.prepare();
+        assert_eq!(prepared.effort(), m.effort());
+        assert_eq!(prepared.active_attentions(), m.active_attentions());
+        assert_eq!(prepared.config().dim, m.config().dim);
+        assert_eq!(prepared.encoder_blocks().len(), m.encoder_blocks().len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The tentpole contract: prepared and unprepared inference agree
+        /// bitwise across quant modes, skip patterns and ragged batch sizes.
+        #[test]
+        fn prop_prepared_bit_identical(
+            seed in 0u64..1000,
+            quant_int8 in 0u32..2,
+            batch in 1usize..6,
+        ) {
+            let quant = if quant_int8 == 1 { QuantMode::Int8 } else { QuantMode::None };
+            let active: &[usize] = if seed % 2 == 0 { &[0, 2] } else { &[0, 1, 2, 3] };
+            let m = model(seed, quant, active);
+            let prepared = m.prepare();
+            let mut rng = Rng::new(seed ^ 0xABCD);
+            let images: Vec<Matrix> = (0..batch)
+                .map(|_| Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng))
+                .collect();
+            let borrowed: Vec<&Matrix> = images.iter().collect();
+            let batched = prepared.forward_batch(&borrowed);
+            for (i, img) in images.iter().enumerate() {
+                prop_assert_eq!(&batched.slice_rows(i, i + 1), &m.infer(img));
+                prop_assert_eq!(&prepared.infer(img), &m.infer(img));
+            }
+        }
+    }
+}
