@@ -1,10 +1,12 @@
 //! Microbenchmarks of the dense matmul kernels under `pivot-tensor`,
 //! at the shapes the tiny ViTs actually execute: naive reference vs. the
-//! blocked microkernel vs. one wide batched GEMM over a stacked batch.
-//! Results are written to `BENCH_matmul.json` at the workspace root.
+//! blocked microkernel vs. one wide batched GEMM over a stacked batch,
+//! plus the packed-int8 quantized GEMM against the f32 kernels on the
+//! same shapes. Results are written to `BENCH_matmul.json` at the
+//! workspace root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pivot_tensor::{Batch, Matrix, Rng, MATMUL_TILE};
+use pivot_tensor::{matmul_quantized_into, Batch, Matrix, PackedInt8, Rng, MATMUL_TILE};
 
 /// Samples stacked into the wide-GEMM comparison (matches
 /// `pivot_core::EVAL_BATCH`).
@@ -69,6 +71,27 @@ fn bench_matmul(c: &mut Criterion) {
         format!("batched {}x64 * 64x64 (matmul_into)", BATCH * 17),
         |b| b.iter(|| black_box(stacked.as_matrix()).matmul_into(black_box(&w64), &mut out)),
     );
+
+    // Packed int8 GEMM vs. the f32 kernels on the same shapes: the
+    // per-row activation quantization + i8xi8->i32 sweep + requantization
+    // against f32 `matmul_into` over identical operands. The pack row
+    // prices the one-off weight quantization the prepared view amortizes.
+    let packed = PackedInt8::pack(&w64);
+    let mut out17 = Matrix::zeros(17, 64);
+    group.bench_function("int8 17x64 * 64x64 (quantized qkv slice)", |b| {
+        b.iter(|| matmul_quantized_into(black_box(&x17), black_box(&packed), &mut out17))
+    });
+    group.bench_function(
+        format!("int8 {}x64 * 64x64 (quantized batched)", BATCH * 17),
+        |b| {
+            b.iter(|| {
+                matmul_quantized_into(black_box(stacked.as_matrix()), black_box(&packed), &mut out)
+            })
+        },
+    );
+    group.bench_function("pack 64x64 weights (int8 panels)", |b| {
+        b.iter(|| black_box(PackedInt8::pack(black_box(&w64))))
+    });
 
     // Attention scores via the no-transpose kernel.
     let q = Matrix::randn(17, 16, 1.0, &mut rng);

@@ -1,0 +1,321 @@
+//! Packed-int8 inference vs. the fake-quant f32 reference path.
+//!
+//! Part of this reproduction's performance trajectory rather than a paper
+//! figure. The paper deploys every effort 8-bit quantized (Section 4.1);
+//! the fake-quant path realizes that grid in f32 arithmetic, while
+//! [`pivot_vit::VisionTransformer::prepare_int8`] stores the *same* weight
+//! grid as packed `i8` panels (a quarter of the bytes) and runs the
+//! `i8×i8→i32` GEMM with per-layer requantization. This experiment
+//! measures the end-to-end evaluation delta and asserts the numeric
+//! contract the per-layer property tests pin:
+//!
+//! - int8 logits stay within [`INT8_LOGIT_TOL`] of the fake-quant
+//!   reference (relative to each sample's logit magnitude),
+//! - packed weights are exactly a quarter of the reference's bytes,
+//! - int8 cascade predictions are argmax-identical to the fake-quant
+//!   cascade on the full synthetic eval set (trained models: top-2
+//!   margins dwarf the quantization noise).
+
+use crate::Table;
+use pivot_core::{
+    batched_logits, CascadeCache, MultiEffortVit, Parallelism, PipelineConfig, PivotPipeline,
+};
+use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_tensor::Matrix;
+use pivot_vit::{TrainConfig, VitConfig};
+use std::time::Instant;
+
+/// Documented logit tolerance of the int8 path relative to the fake-quant
+/// reference: per-row activation quantization contributes up to one code
+/// (~0.8% of the row's dynamic range) per GEMM, compounded across layers.
+/// Empirically the deviation sits near 2% on the small geometries; 5%
+/// gives slack without masking a broken kernel.
+pub const INT8_LOGIT_TOL: f32 = 0.05;
+
+/// Wall-clock and contract report for int8 vs. fake-quant evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Int8Speedup {
+    /// Samples in the timed evaluation sweep.
+    pub n_samples: usize,
+    /// Worker count used by both paths (`Parallelism::Auto`).
+    pub workers: usize,
+    /// One-off `prepare_int8` cost (ms) — included in [`Self::int8_ms`].
+    pub prepare_ms: f64,
+    /// Int8 batched evaluation (ms), *including* the one-off packing.
+    pub int8_ms: f64,
+    /// Fake-quant f32 batched evaluation (ms), including its `prepare`.
+    pub fake_quant_ms: f64,
+    /// Largest per-sample logit deviation over the fixed contract set,
+    /// relative to the sample's logit magnitude (floored at 0.5 so
+    /// near-zero logits don't blow it up).
+    pub max_rel_diff: f32,
+    /// `reference.weight_bytes() / int8.weight_bytes()` — must be 4.
+    pub weight_ratio: f64,
+    /// Cascade predictions agreeing with the fake-quant cascade on the
+    /// fixed synthetic eval set.
+    pub cascade_agree: usize,
+    /// Size of the cascade eval set.
+    pub cascade_total: usize,
+}
+
+impl Int8Speedup {
+    /// Fake-quant-over-int8 speedup (higher is better; the int8 side
+    /// includes its packing cost).
+    pub fn speedup(&self) -> f64 {
+        self.fake_quant_ms / self.int8_ms.max(1e-9)
+    }
+
+    /// Whether every sample's logits stayed within [`INT8_LOGIT_TOL`].
+    pub fn tolerance_ok(&self) -> bool {
+        self.max_rel_diff <= INT8_LOGIT_TOL
+    }
+
+    /// Whether the int8 cascade predicted identically to the fake-quant
+    /// cascade on every eval sample.
+    pub fn argmax_identical(&self) -> bool {
+        self.cascade_agree == self.cascade_total
+    }
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// The synthetic eval set: difficulty stripes spanning the training
+/// distribution (the pipeline trains on difficulty 0.0..0.8; harder
+/// inputs drive the trained activations outside the range the per-row
+/// activation fit was characterized on, which inflates relative logit
+/// error without saying anything about the kernel).
+fn eval_samples(n_samples: usize) -> Vec<Sample> {
+    Dataset::generate_difficulty_stripes(
+        &DatasetConfig::small(),
+        &[0.1, 0.45, 0.8],
+        n_samples.div_ceil(3),
+        41,
+    )
+}
+
+/// A fast training configuration around the test-small geometry: enough
+/// epochs for real top-2 margins, seconds of wall clock.
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        vit: VitConfig::test_small(),
+        efforts: vec![1, 2, 4],
+        teacher_train: TrainConfig {
+            epochs: 24,
+            batch_size: 16,
+            lr: 2e-3,
+            distill_weight: 0.0,
+            entropy_weight: 0.0,
+            grad_clip: 1.0,
+            warmup_fraction: 0.1,
+            seed: 1,
+        },
+        finetune: TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 1e-3,
+            distill_weight: 0.5,
+            entropy_weight: 0.1,
+            grad_clip: 1.0,
+            warmup_fraction: 0.1,
+            seed: 2,
+        },
+        cka_batch: 32,
+        seed: 0,
+    }
+}
+
+/// Largest `|int8 - reference|` across one sample's logits, relative to
+/// the reference's magnitude (floored so near-zero rows stay meaningful).
+fn rel_diff(int8: &Matrix, reference: &Matrix) -> f32 {
+    let max_abs = reference
+        .as_slice()
+        .iter()
+        .fold(0f32, |m, v| m.max(v.abs()))
+        .max(0.5);
+    int8.as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .fold(0f32, |m, (a, b)| m.max((a - b).abs()))
+        / max_abs
+}
+
+/// An escalation threshold placed mid-gap in the eval set's entropy
+/// distribution.
+///
+/// A threshold sitting on top of some sample's gate entropy makes the
+/// routing decision a knife edge: the int8 path's ~1e-2 entropy
+/// perturbation flips which model answers, and the two models may
+/// legitimately disagree — a divergence that says nothing about the
+/// kernel. Centering the threshold in the widest entropy gap makes the
+/// routing noise-stable, so any remaining prediction divergence is a real
+/// argmax break.
+fn noise_stable_threshold(entropies: &[f32]) -> f32 {
+    let mut sorted: Vec<f32> = entropies
+        .iter()
+        .copied()
+        .filter(|e| e.is_finite())
+        .collect();
+    sorted.sort_by(f32::total_cmp);
+    sorted
+        .windows(2)
+        .max_by(|a, b| (a[1] - a[0]).total_cmp(&(b[1] - b[0])))
+        .map(|w| ((w[0] + w[1]) / 2.0).clamp(0.0, 1.0))
+        .unwrap_or(0.6)
+}
+
+/// Size of the fixed contract sets the numeric assertions run on. The
+/// timing sweep scales with the caller's `n_samples`, but a contract over
+/// "the worst sample in an arbitrarily large draw" is a statement about
+/// the tail of the input distribution, not about the kernel — so the
+/// tolerance and argmax checks run on fixed-seed, fixed-size sets that
+/// are identical in smoke and full mode (and across machines: the AVX2
+/// and scalar kernels are bit-identical).
+const CONTRACT_SAMPLES: usize = 96;
+
+/// Cascade eval samples per class (the full synthetic eval set has
+/// `4 * CASCADE_EVAL_PER_CLASS` samples).
+const CASCADE_EVAL_PER_CLASS: usize = 24;
+
+/// Measures int8 vs. fake-quant batched evaluation of a *trained* cascade
+/// over `n_samples` synthetic inputs and prints a report.
+///
+/// Trains the small pipeline first (seconds) so the cascade's argmax
+/// check runs on models with real top-2 margins; untrained logits sit
+/// inside the quantization noise and would make argmax identity
+/// meaningless.
+pub fn int8_speedup(n_samples: usize) -> Int8Speedup {
+    println!("\n=== Packed int8 inference vs. fake-quant reference ===");
+    let workers = Parallelism::Auto.workers(usize::MAX);
+    println!("host parallelism: {workers} worker(s); {n_samples} samples\n");
+
+    let data = Dataset::generate(
+        &DatasetConfig {
+            classes: 4,
+            image_size: 16,
+            train_per_class: 20,
+            test_per_class: 8,
+            difficulty: (0.0, 0.8),
+        },
+        3,
+    );
+    let artifacts = PivotPipeline::new(pipeline_config()).run(&data);
+    let low = artifacts
+        .efforts
+        .first()
+        .expect("pipeline efforts")
+        .model
+        .clone();
+    let high = artifacts
+        .efforts
+        .last()
+        .expect("pipeline efforts")
+        .model
+        .clone();
+
+    let samples = eval_samples(n_samples);
+    let samples = &samples[..n_samples.min(samples.len())];
+
+    // Reference: fake-quant f32 prepared view.
+    let (fq_prepare_ms, reference) = time_ms(|| high.prepare());
+    let (fq_eval_ms, fq_logits) =
+        time_ms(|| batched_logits(&reference, samples, Parallelism::Auto));
+    let fake_quant_ms = fq_prepare_ms + fq_eval_ms;
+
+    // Int8: packed panels, integer GEMM, per-layer requantization. The
+    // packing is timed inside so the comparison is end-to-end honest.
+    let (prepare_ms, prepared) = time_ms(|| high.prepare_int8());
+    let (eval_ms, q_logits) = time_ms(|| batched_logits(&prepared, samples, Parallelism::Auto));
+    let int8_ms = prepare_ms + eval_ms;
+    assert_eq!(fq_logits.len(), q_logits.len());
+
+    // Tolerance contract on the fixed contract set (the timed logits
+    // above exercise the same kernels; the assertion set is pinned so the
+    // documented tolerance is a property of the kernel, not of how many
+    // samples the sweep happened to draw).
+    let contract = eval_samples(CONTRACT_SAMPLES);
+    let fq_contract = batched_logits(&reference, &contract, Parallelism::Auto);
+    let q_contract = batched_logits(&prepared, &contract, Parallelism::Auto);
+    let max_rel_diff = q_contract
+        .iter()
+        .zip(&fq_contract)
+        .fold(0f32, |m, (q, r)| m.max(rel_diff(q, r)));
+    let weight_ratio = reference.weight_bytes() as f64 / prepared.weight_bytes() as f64;
+
+    // Cascade argmax identity over the full synthetic eval set — the
+    // same distribution the pipeline trains on (the stripes above pin the
+    // logit tolerance instead). The threshold is placed where routing is
+    // stable under quantization noise, so a divergence here would be a
+    // real argmax break, not a knife-edge routing flip.
+    let eval = Dataset::generate(
+        &DatasetConfig {
+            classes: 4,
+            image_size: 16,
+            train_per_class: 1,
+            test_per_class: CASCADE_EVAL_PER_CLASS,
+            difficulty: (0.0, 0.8),
+        },
+        43,
+    )
+    .test;
+    let gate = CascadeCache::build(&low, &eval, Parallelism::Auto);
+    let threshold = noise_stable_threshold(gate.entropies());
+    let fq_cascade = MultiEffortVit::new(low.clone(), high.clone(), threshold);
+    let q_cascade = MultiEffortVit::new_int8(low, high, threshold);
+    let cascade_agree = eval
+        .iter()
+        .filter(|s| q_cascade.infer(&s.image).prediction == fq_cascade.infer(&s.image).prediction)
+        .count();
+
+    let out = Int8Speedup {
+        n_samples: samples.len(),
+        workers,
+        prepare_ms,
+        int8_ms,
+        fake_quant_ms,
+        max_rel_diff,
+        weight_ratio,
+        cascade_agree,
+        cascade_total: eval.len(),
+    };
+
+    let mut table = Table::new(&["Workload", "Fake-quant (ms)", "Int8 (ms)", "Speedup"]);
+    table.row_owned(vec![
+        format!("batched eval ({} samples)", samples.len()),
+        format!("{fake_quant_ms:.1}"),
+        format!("{int8_ms:.1} (pack {prepare_ms:.2})"),
+        format!("{:.2}x", out.speedup()),
+    ]);
+    println!("{table}");
+    println!(
+        "weight bytes: {}x smaller; max logit deviation {:.3} (tolerance {INT8_LOGIT_TOL}); \
+         cascade (threshold {threshold:.3}) argmax identical on {}/{} samples",
+        out.weight_ratio, out.max_rel_diff, out.cascade_agree, out.cascade_total
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_report_meets_the_numeric_contract() {
+        // Small sample count: validates wiring and the numeric contract,
+        // not throughput.
+        let report = int8_speedup(24);
+        assert!(
+            report.tolerance_ok(),
+            "int8 logits deviate {:.3} > {INT8_LOGIT_TOL}",
+            report.max_rel_diff
+        );
+        assert!(report.argmax_identical(), "cascade predictions diverged");
+        assert_eq!(report.weight_ratio, 4.0);
+        assert_eq!(report.n_samples, 24);
+        assert!(report.int8_ms >= report.prepare_ms);
+        assert!(report.fake_quant_ms > 0.0);
+    }
+}

@@ -10,6 +10,7 @@ mod analysis;
 mod delay;
 mod faults;
 mod gpp;
+mod int8;
 mod parallel;
 mod prepared;
 
@@ -22,6 +23,7 @@ pub use analysis::{fig3a, fig4a, fig4b, fig4c, fig8, fig9, LecPoint, PathAccurac
 pub use delay::{fig1b, fig6a, fig6b, DelayShare, EnergyReduction};
 pub use faults::{fault_injection, FaultReport, FaultSweepPoint};
 pub use gpp::{fig1c, fig7, GppMethodResult};
+pub use int8::{int8_speedup, Int8Speedup, INT8_LOGIT_TOL};
 pub use parallel::{parallel_speedup, ParallelSpeedup};
 pub use prepared::{prepared_speedup, PreparedSpeedup};
 

@@ -116,6 +116,16 @@ impl CascadeCache {
         Self::build_prepared(&low.prepare(), samples, par)
     }
 
+    /// [`CascadeCache::build`] on the packed int8 inference path: the
+    /// low-effort model is [prepared as
+    /// int8](VisionTransformer::prepare_int8) and every cached logit row
+    /// comes from the integer GEMM. Entropies and predictions track the
+    /// fake-quant [`CascadeCache::build`] within the documented int8
+    /// tolerance.
+    pub fn build_int8(low: &VisionTransformer, samples: &[Sample], par: Parallelism) -> Self {
+        Self::build_prepared(&low.prepare_int8(), samples, par)
+    }
+
     /// [`CascadeCache::build`] against an already-prepared inference view.
     pub fn build_prepared(low: &PreparedModel, samples: &[Sample], par: Parallelism) -> Self {
         let low_logits = batched_logits(low, samples, par);
@@ -583,5 +593,18 @@ mod tests {
             assert!(w[0] <= w[1]);
         }
         assert_eq!(*curve.last().expect("non-empty"), 1.0);
+    }
+
+    #[test]
+    fn int8_cache_tracks_fake_quant_entropies() {
+        let low = model(15, &[0]);
+        let set = samples(16, 16);
+        let reference = CascadeCache::build(&low, &set, Parallelism::Off);
+        let int8 = CascadeCache::build_int8(&low, &set, Parallelism::Off);
+        assert_eq!(int8.len(), reference.len());
+        for (q, r) in int8.entropies().iter().zip(reference.entropies()) {
+            assert!(q.is_finite());
+            assert!((q - r).abs() < 0.05, "int8 entropy {q} vs fake-quant {r}");
+        }
     }
 }

@@ -165,6 +165,27 @@ impl MultiEffortVit {
     /// Panics if the threshold is not in `[0, 1]` or the models disagree on
     /// class count.
     pub fn new(low: VisionTransformer, high: VisionTransformer, threshold: f32) -> Self {
+        Self::with_kernel(low, high, threshold, false)
+    }
+
+    /// [`Self::new`] on the packed int8 inference path: both efforts are
+    /// [prepared as int8](VisionTransformer::prepare_int8), so every batch
+    /// evaluation and single-image inference runs the integer GEMM at a
+    /// quarter of the weight memory traffic. The fake-quant [`Self::new`]
+    /// cascade stays the accuracy reference; predictions track it within
+    /// the documented int8 tolerance (argmax-identical away from
+    /// quantization-noise ties — asserted over the full synthetic eval set
+    /// by the `int8_speedup` experiment).
+    pub fn new_int8(low: VisionTransformer, high: VisionTransformer, threshold: f32) -> Self {
+        Self::with_kernel(low, high, threshold, true)
+    }
+
+    fn with_kernel(
+        low: VisionTransformer,
+        high: VisionTransformer,
+        threshold: f32,
+        int8: bool,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&threshold),
             "threshold must be in [0, 1]"
@@ -174,8 +195,11 @@ impl MultiEffortVit {
             high.config().num_classes,
             "efforts must share the class space"
         );
-        let low_prepared = low.prepare();
-        let high_prepared = high.prepare();
+        let (low_prepared, high_prepared) = if int8 {
+            (low.prepare_int8(), high.prepare_int8())
+        } else {
+            (low.prepare(), high.prepare())
+        };
         Self {
             low,
             high,
@@ -184,6 +208,12 @@ impl MultiEffortVit {
             threshold,
             parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Whether the cascade runs on the packed int8 kernel (built by
+    /// [`Self::new_int8`]).
+    pub fn is_int8(&self) -> bool {
+        self.low_prepared.is_int8() && self.high_prepared.is_int8()
     }
 
     /// The entropy threshold `Th`.
@@ -649,5 +679,38 @@ mod tests {
     fn invalid_threshold_panics() {
         let (low, high) = models(10);
         let _ = MultiEffortVit::new(low, high, 1.5);
+    }
+
+    #[test]
+    fn int8_cascade_tracks_fake_quant_reference() {
+        let (low, high) = models(12);
+        let reference = MultiEffortVit::new(low.clone(), high.clone(), 0.6);
+        let int8 = MultiEffortVit::new_int8(low, high, 0.6);
+        assert!(int8.is_int8());
+        assert!(!reference.is_int8());
+        let set = samples(20, 13);
+        let mut agree = 0;
+        for s in &set {
+            let r = reference.infer(&s.image);
+            let q = int8.infer(&s.image);
+            assert!(q.entropy_low.is_finite());
+            assert!(
+                (q.entropy_low - r.entropy_low).abs() < 0.05,
+                "int8 entropy {} vs fake-quant {}",
+                q.entropy_low,
+                r.entropy_low
+            );
+            if q.prediction == r.prediction && q.used_high == r.used_high {
+                agree += 1;
+            }
+        }
+        // Quantization noise can flip the routing decision or the argmax
+        // only for inputs whose entropy sits inside the noise band around
+        // the threshold (or whose top-2 logit margin is sub-noise); the
+        // bulk of the evaluation set must agree exactly.
+        assert!(agree * 10 >= set.len() * 8, "{agree}/{} agree", set.len());
+        let rs = reference.evaluate(&set);
+        let qs = int8.evaluate(&set);
+        assert_eq!(rs.n_low + rs.n_high, qs.n_low + qs.n_high);
     }
 }

@@ -120,6 +120,19 @@ impl EffortLadder {
     /// not non-decreasing (a later gate must not be stricter: otherwise an
     /// input could bypass a level it would have accepted).
     pub fn new(levels: Vec<VisionTransformer>, thresholds: Vec<f32>) -> Self {
+        Self::with_kernel(levels, thresholds, false)
+    }
+
+    /// [`Self::new`] on the packed int8 inference path: every level is
+    /// [prepared as int8](VisionTransformer::prepare_int8), so ladder
+    /// ascents and batched evaluations run the integer GEMM at a quarter
+    /// of the weight memory traffic. The fake-quant [`Self::new`] ladder
+    /// stays the accuracy reference.
+    pub fn new_int8(levels: Vec<VisionTransformer>, thresholds: Vec<f32>) -> Self {
+        Self::with_kernel(levels, thresholds, true)
+    }
+
+    fn with_kernel(levels: Vec<VisionTransformer>, thresholds: Vec<f32>, int8: bool) -> Self {
         assert!(levels.len() >= 2, "a ladder needs at least two levels");
         assert_eq!(
             thresholds.len(),
@@ -132,12 +145,21 @@ impl EffortLadder {
             assert!(t >= prev, "thresholds must be non-decreasing");
             prev = t;
         }
-        let prepared = levels.iter().map(VisionTransformer::prepare).collect();
+        let prepared = levels
+            .iter()
+            .map(|m| if int8 { m.prepare_int8() } else { m.prepare() })
+            .collect();
         Self {
             levels,
             prepared,
             thresholds,
         }
+    }
+
+    /// Whether every level runs on the packed int8 kernel (built by
+    /// [`Self::new_int8`]).
+    pub fn is_int8(&self) -> bool {
+        self.prepared.iter().all(PreparedModel::is_int8)
     }
 
     /// Number of levels.
@@ -709,5 +731,31 @@ mod tests {
     #[should_panic(expected = "one threshold per gate")]
     fn wrong_threshold_count_panics() {
         let _ = EffortLadder::new(models(11), vec![0.5]);
+    }
+
+    #[test]
+    fn int8_ladder_classifies_every_input_once() {
+        let reference = EffortLadder::new(models(21), vec![0.3, 0.6]);
+        let ladder = EffortLadder::new_int8(models(21), vec![0.3, 0.6]);
+        assert!(ladder.is_int8());
+        assert!(!reference.is_int8());
+        let set = samples(22);
+        let stats = ladder.evaluate(&set);
+        assert_eq!(stats.total(), set.len());
+        // Same-grid weights: the int8 ladder's per-level routing can only
+        // drift from the fake-quant reference by samples whose gate
+        // entropy sits inside the quantization-noise band.
+        let ref_stats = reference.evaluate(&set);
+        let drift: usize = stats
+            .per_level
+            .iter()
+            .zip(&ref_stats.per_level)
+            .map(|(&(n, _), &(rn, _))| n.abs_diff(rn))
+            .sum();
+        assert!(
+            drift <= set.len() / 4,
+            "routing drift {drift}/{}",
+            set.len()
+        );
     }
 }

@@ -203,9 +203,32 @@ impl PivotPipeline {
 ///
 /// Panics if the batch is empty.
 pub fn compute_cka_matrix(model: &VisionTransformer, batch: &[&Sample]) -> CkaMatrix {
+    compute_cka_matrix_prepared(&model.prepare(), batch)
+}
+
+/// [`compute_cka_matrix`] on the packed int8 inference path: traced
+/// activations come from the integer GEMM
+/// ([`VisionTransformer::prepare_int8`]). CKA is a similarity statistic
+/// over whole activation matrices, so the per-row activation quantization
+/// noise perturbs scores well below the margins Phase 1 selects on; the
+/// fake-quant [`compute_cka_matrix`] stays the accuracy reference.
+pub fn compute_cka_matrix_int8(model: &VisionTransformer, batch: &[&Sample]) -> CkaMatrix {
+    compute_cka_matrix_prepared(&model.prepare_int8(), batch)
+}
+
+/// The shared body of [`compute_cka_matrix`] and
+/// [`compute_cka_matrix_int8`]: traced forward passes against an
+/// already-frozen view.
+///
+/// # Panics
+///
+/// Panics if the batch is empty.
+pub fn compute_cka_matrix_prepared(
+    prepared: &pivot_vit::PreparedModel,
+    batch: &[&Sample],
+) -> CkaMatrix {
     assert!(!batch.is_empty(), "CKA batch must be non-empty");
-    let depth = model.config().depth;
-    let prepared = model.prepare();
+    let depth = prepared.config().depth;
     let mut mlp_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(batch.len()); depth];
     let mut attn_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(batch.len()); depth];
     for sample in batch {
@@ -335,6 +358,28 @@ mod tests {
         // Residual streams are strongly correlated in a trained ViT; the
         // matrix must not be all zeros.
         assert!(cka.get(0, 1) > 0.01);
+    }
+
+    #[test]
+    fn int8_cka_matrix_tracks_fake_quant_reference() {
+        let model =
+            VisionTransformer::new(&VitConfig::test_small(), &mut pivot_tensor::Rng::new(17));
+        let data = small_data();
+        let batch: Vec<&Sample> = data.train.iter().take(16).collect();
+        let reference = compute_cka_matrix(&model, &batch);
+        let int8 = compute_cka_matrix_int8(&model, &batch);
+        assert_eq!(int8.depth(), reference.depth());
+        for i in 0..int8.depth() {
+            for j in 0..int8.depth() {
+                let q = int8.get(i, j);
+                let r = reference.get(i, j);
+                assert!((0.0..=1.0).contains(&q), "CKA({i},{j}) = {q}");
+                // CKA is a normalized similarity over whole activation
+                // matrices, so per-row activation quantization noise
+                // perturbs it far less than individual logits.
+                assert!((q - r).abs() < 0.05, "CKA({i},{j}) int8 {q} vs {r}");
+            }
+        }
     }
 
     #[test]

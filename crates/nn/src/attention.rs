@@ -97,6 +97,18 @@ impl MultiHeadAttention {
         }
     }
 
+    /// Freezes the block into an immutable int8 inference view (all four
+    /// projections on packed `i8` panels; see [`Linear::prepare_int8`]).
+    pub fn prepare_int8(&self) -> crate::PreparedAttention {
+        crate::PreparedAttention {
+            wq: self.wq.prepare_int8(),
+            wk: self.wk.prepare_int8(),
+            wv: self.wv.prepare_int8(),
+            proj: self.proj.prepare_int8(),
+            heads: self.heads,
+        }
+    }
+
     /// Total quantization-saturated weights across all four projections
     /// (see [`Linear::weight_saturation`]).
     pub fn weight_saturation(&self) -> usize {

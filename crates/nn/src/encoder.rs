@@ -105,6 +105,20 @@ impl EncoderBlock {
         }
     }
 
+    /// Freezes the block into an immutable int8 inference view: attention
+    /// and MLP projections on packed `i8` panels, layer norms (which have
+    /// no quantized weights) and the skip switch snapshotted as in
+    /// [`EncoderBlock::prepare`].
+    pub fn prepare_int8(&self) -> crate::PreparedEncoderBlock {
+        crate::PreparedEncoderBlock {
+            ln1: self.ln1.clone(),
+            attn: self.attn.prepare_int8(),
+            ln2: self.ln2.clone(),
+            mlp: self.mlp.prepare_int8(),
+            attention_active: self.attention_active,
+        }
+    }
+
     /// Inference-only forward, also returning the trace for CKA capture.
     pub fn infer_traced(&self, x: &Matrix) -> EncoderTrace {
         let after_attn = if self.attention_active {

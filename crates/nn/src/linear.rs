@@ -119,10 +119,31 @@ impl Linear {
             .map(|qp| qp.saturation_count(self.weight.value.as_slice()))
             .unwrap_or(0);
         crate::PreparedLinear {
-            w_eff,
+            kernel: crate::prepared::PreparedKernel::F32 { w_eff },
             bias: self.bias.value.clone(),
             params,
             saturation,
+        }
+    }
+
+    /// Freezes the layer into an immutable *int8* inference view: the
+    /// weight is quantized once with the same symmetric fit the fake-quant
+    /// path uses, but stored as packed `i8` panels
+    /// ([`pivot_tensor::PackedInt8`]) driving the integer GEMM — a quarter
+    /// of the weight memory traffic of [`Linear::prepare`].
+    ///
+    /// The weight grid is identical to `Int8`-mode [`Linear::prepare`]
+    /// regardless of the layer's current [`QuantMode`]; outputs differ from
+    /// the fake-quant reference only by the per-row activation
+    /// quantization, within the documented tolerance.
+    pub fn prepare_int8(&self) -> crate::PreparedLinear {
+        let qp = QuantParams::fit_symmetric(&self.weight.value);
+        let packed = pivot_tensor::PackedInt8::pack_with(&self.weight.value, qp);
+        crate::PreparedLinear {
+            kernel: crate::prepared::PreparedKernel::Int8 { packed },
+            bias: self.bias.value.clone(),
+            params: Some(qp),
+            saturation: qp.saturation_count(self.weight.value.as_slice()),
         }
     }
 

@@ -54,6 +54,16 @@ impl Mlp {
         }
     }
 
+    /// Freezes the block into an immutable int8 inference view (both
+    /// projections on packed `i8` panels; see
+    /// [`crate::Linear::prepare_int8`]).
+    pub fn prepare_int8(&self) -> crate::PreparedMlp {
+        crate::PreparedMlp {
+            fc1: self.fc1.prepare_int8(),
+            fc2: self.fc2.prepare_int8(),
+        }
+    }
+
     /// Sets the quantization mode on both projections.
     pub fn set_quant_mode(&mut self, quant: QuantMode) {
         self.fc1.set_quant_mode(quant);

@@ -15,37 +15,83 @@
 //! weights) invalidates it and requires calling `prepare()` again.
 
 use crate::LayerNorm;
-use pivot_tensor::{gelu, softmax_row, Matrix, QuantParams};
+use pivot_tensor::{gelu, matmul_quantized, softmax_row, Matrix, PackedInt8, QuantParams};
+
+/// The GEMM backend a [`PreparedLinear`] runs on — the same two-path
+/// pattern as `matmul_naive` vs the blocked kernel: `F32` is the accuracy
+/// reference (full precision or fake-quantized effective weight), `Int8`
+/// is the deployment path storing packed `i8` panels (a quarter of the
+/// weight memory traffic) and driving the integer GEMM.
+#[derive(Debug, Clone)]
+pub(crate) enum PreparedKernel {
+    /// `f32` effective weight — full precision, or fake-quantized in `Int8`
+    /// quant mode. The reference path.
+    F32 { w_eff: Matrix },
+    /// Packed `i8` weight panels on the integer GEMM
+    /// ([`pivot_tensor::matmul_quantized`]).
+    Int8 { packed: PackedInt8 },
+}
 
 /// Frozen inference view of a [`crate::Linear`] layer.
 ///
-/// Holds the effective (fake-quantized in `Int8` mode) weight, the bias row,
-/// the quantizer that produced the weight and the saturation count computed
-/// from those same parameters — so health checks report exactly what the
-/// forward pass runs on.
+/// Holds the effective weight (as `f32`, or packed `i8` panels when built
+/// by [`crate::Linear::prepare_int8`]), the bias row, the quantizer that
+/// produced the weight and the saturation count computed from those same
+/// parameters — so health checks report exactly what the forward pass runs
+/// on.
 #[derive(Debug, Clone)]
 pub struct PreparedLinear {
-    pub(crate) w_eff: Matrix,
+    pub(crate) kernel: PreparedKernel,
     pub(crate) bias: Matrix,
     pub(crate) params: Option<QuantParams>,
     pub(crate) saturation: usize,
 }
 
 impl PreparedLinear {
-    /// Inference forward `y = x W_eff + b`; bit-identical to
-    /// [`crate::Linear::infer`] on the layer this view was prepared from.
+    /// Inference forward `y = x W_eff + b`.
+    ///
+    /// On the `F32` kernel this is bit-identical to [`crate::Linear::infer`]
+    /// on the layer this view was prepared from. On the `Int8` kernel the
+    /// weight grid is the same symmetric fit, and the additional per-row
+    /// activation quantization keeps outputs within the documented
+    /// int8-vs-fake-quant tolerance (see `pivot_tensor::matmul_quantized`).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w_eff).add_row_broadcast(self.bias.row(0))
+        match &self.kernel {
+            PreparedKernel::F32 { w_eff } => x.matmul(w_eff).add_row_broadcast(self.bias.row(0)),
+            PreparedKernel::Int8 { packed } => {
+                matmul_quantized(x, packed).add_row_broadcast(self.bias.row(0))
+            }
+        }
+    }
+
+    /// Whether this view runs on the packed int8 kernel.
+    pub fn is_int8(&self) -> bool {
+        matches!(self.kernel, PreparedKernel::Int8 { .. })
+    }
+
+    /// Bytes of weight storage the forward pass streams per call: 4 per
+    /// weight on the `F32` kernel, 1 on the packed `Int8` kernel.
+    pub fn weight_bytes(&self) -> usize {
+        match &self.kernel {
+            PreparedKernel::F32 { w_eff } => w_eff.len() * std::mem::size_of::<f32>(),
+            PreparedKernel::Int8 { packed } => packed.size_bytes(),
+        }
     }
 
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
-        self.w_eff.rows()
+        match &self.kernel {
+            PreparedKernel::F32 { w_eff } => w_eff.rows(),
+            PreparedKernel::Int8 { packed } => packed.in_dim(),
+        }
     }
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        self.w_eff.cols()
+        match &self.kernel {
+            PreparedKernel::F32 { w_eff } => w_eff.cols(),
+            PreparedKernel::Int8 { packed } => packed.out_dim(),
+        }
     }
 
     /// The quantizer the effective weight was materialized with (`None` in
@@ -91,6 +137,19 @@ impl PreparedAttention {
     /// Total saturated weights across the four projections.
     pub fn weight_saturation(&self) -> usize {
         self.wq.saturation + self.wk.saturation + self.wv.saturation + self.proj.saturation
+    }
+
+    /// Whether all four projections run on the packed int8 kernel.
+    pub fn is_int8(&self) -> bool {
+        self.wq.is_int8() && self.wk.is_int8() && self.wv.is_int8() && self.proj.is_int8()
+    }
+
+    /// Weight bytes streamed per forward across the four projections.
+    pub fn weight_bytes(&self) -> usize {
+        self.wq.weight_bytes()
+            + self.wk.weight_bytes()
+            + self.wv.weight_bytes()
+            + self.proj.weight_bytes()
     }
 
     /// Per-sample inference; bit-identical to
@@ -190,6 +249,16 @@ impl PreparedMlp {
         self.fc1.saturation + self.fc2.saturation
     }
 
+    /// Whether both projections run on the packed int8 kernel.
+    pub fn is_int8(&self) -> bool {
+        self.fc1.is_int8() && self.fc2.is_int8()
+    }
+
+    /// Weight bytes streamed per forward across both projections.
+    pub fn weight_bytes(&self) -> usize {
+        self.fc1.weight_bytes() + self.fc2.weight_bytes()
+    }
+
     /// Inference forward; bit-identical to [`crate::Mlp::infer`] on the
     /// source block.
     pub fn infer(&self, x: &Matrix) -> Matrix {
@@ -228,6 +297,18 @@ impl PreparedEncoderBlock {
     /// count — their weights stay resident in (simulated) SRAM.
     pub fn weight_saturation(&self) -> usize {
         self.attn.weight_saturation() + self.mlp.weight_saturation()
+    }
+
+    /// Whether every projection in the block runs on the packed int8
+    /// kernel.
+    pub fn is_int8(&self) -> bool {
+        self.attn.is_int8() && self.mlp.is_int8()
+    }
+
+    /// Weight bytes resident for the block (skipped attentions included —
+    /// their weights stay in simulated SRAM).
+    pub fn weight_bytes(&self) -> usize {
+        self.attn.weight_bytes() + self.mlp.weight_bytes()
     }
 
     /// Traced per-sample inference; bit-identical to
@@ -342,6 +423,68 @@ mod tests {
                 "active={active} batched"
             );
             assert_eq!(prepared.weight_saturation(), enc.weight_saturation());
+        }
+    }
+
+    #[test]
+    fn int8_prepared_linear_tracks_fake_quant_reference() {
+        let mut rng = Rng::new(30);
+        let lin = Linear::new(16, 8, QuantMode::Int8, &mut rng);
+        let reference = lin.prepare();
+        let int8 = lin.prepare_int8();
+        assert!(int8.is_int8() && !reference.is_int8());
+        // Same fit, a quarter of the weight bytes.
+        assert_eq!(int8.quant_params(), reference.quant_params());
+        assert_eq!(int8.weight_bytes() * 4, reference.weight_bytes());
+        assert_eq!(int8.weight_saturation(), reference.weight_saturation());
+        assert_eq!((int8.in_dim(), int8.out_dim()), (16, 8));
+        let x = Matrix::randn(5, 16, 1.0, &mut rng);
+        let y8 = int8.infer(&x);
+        let yf = reference.infer(&x);
+        // Weight grids are identical; only the per-row activation
+        // quantization separates the two paths.
+        let tol = 0.05 * yf.max_abs().max(1.0);
+        assert!(y8.approx_eq(&yf, tol), "int8 linear too far from reference");
+    }
+
+    #[test]
+    fn int8_prepared_views_poison_on_corrupted_weights() {
+        let mut rng = Rng::new(31);
+        let mut lin = Linear::new(6, 4, QuantMode::Int8, &mut rng);
+        lin.params_mut()[0].value[(2, 1)] = f32::NAN;
+        let int8 = lin.prepare_int8();
+        let y = int8.infer(&Matrix::randn(3, 6, 1.0, &mut rng));
+        // The fault surfaces as NaN in the fed output column, never a
+        // laundered finite value.
+        for i in 0..3 {
+            assert!(y[(i, 1)].is_nan(), "poisoned column must stay visible");
+            assert!(y[(i, 0)].is_finite());
+        }
+    }
+
+    #[test]
+    fn int8_prepared_encoder_tracks_reference_and_reports_memory() {
+        let mut rng = Rng::new(32);
+        let mut enc = EncoderBlock::new(8, 2, 16, QuantMode::Int8, &mut rng);
+        for active in [true, false] {
+            enc.set_attention_active(active);
+            let int8 = enc.prepare_int8();
+            let reference = enc.prepare();
+            assert!(int8.is_int8());
+            assert_eq!(int8.attention_active(), active);
+            assert_eq!(int8.weight_bytes() * 4, reference.weight_bytes());
+            assert_eq!(int8.weight_saturation(), reference.weight_saturation());
+            let x = Matrix::randn(4, 8, 1.0, &mut rng);
+            let y8 = int8.infer(&x);
+            let yf = reference.infer(&x);
+            let tol = 0.1 * yf.max_abs().max(1.0);
+            assert!(y8.approx_eq(&yf, tol), "active={active}");
+            let stacked = x.vcat(&x);
+            assert_eq!(
+                int8.infer_batch(&stacked, 4).slice_rows(0, 4),
+                y8,
+                "active={active}: batching must not change int8 results"
+            );
         }
     }
 

@@ -25,6 +25,7 @@
 
 mod batch;
 mod health;
+mod int8;
 mod matrix;
 mod ops;
 mod quant;
@@ -32,6 +33,7 @@ mod rng;
 
 pub use batch::Batch;
 pub use health::NonFiniteError;
+pub use int8::{matmul_quantized, matmul_quantized_into, PackedInt8};
 pub use matrix::{Matrix, MATMUL_TILE};
 pub use ops::{erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place};
 pub use quant::{QuantParams, Quantized};
@@ -45,6 +47,7 @@ mod thread_safety {
     fn core_types_are_send_and_sync() {
         assert_send_sync::<crate::Batch>();
         assert_send_sync::<crate::Matrix>();
+        assert_send_sync::<crate::PackedInt8>();
         assert_send_sync::<crate::QuantParams>();
         assert_send_sync::<crate::Quantized>();
         assert_send_sync::<crate::Rng>();

@@ -14,6 +14,16 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 /// results — only speed.
 pub const MATMUL_TILE: usize = 32;
 
+/// `rhs` footprint (bytes) below which [`Matrix::matmul_into`] skips tiling.
+///
+/// When the whole streamed operand fits in half of a typical 32 KiB L1,
+/// blocking saves no traffic — every `rhs` panel is L1-resident anyway —
+/// and the extra tile loops only cost overhead (visible in
+/// `BENCH_matmul.json` as the blocked kernel losing to naive on the
+/// 17x64 * 64x64 qkv slice). Both code paths share the same ascending-`k`
+/// accumulation order, so dispatch can never change results.
+const SMALL_GEMM_RHS_BYTES: usize = 16 * 1024;
+
 /// A dense, row-major `f32` matrix.
 ///
 /// `Matrix` is the single tensor type used across the PIVOT workspace.
@@ -310,11 +320,15 @@ impl Matrix {
     ///
     /// The kernel tiles output rows and the reduction dimension at
     /// [`MATMUL_TILE`]; within a row block, a `MATMUL_TILE`-row panel of
-    /// `rhs` is streamed once and reused for every row of the block. Each
+    /// `rhs` is streamed once and reused for every row of the block. When
+    /// `rhs` is small enough to be L1-resident ([`SMALL_GEMM_RHS_BYTES`])
+    /// the kernel dispatches to the untiled loop instead — tiling an
+    /// operand that already fits in cache only adds loop overhead. Each
     /// output element is accumulated in ascending-`k` order with a single
-    /// scalar accumulator, so the result is a pure function of the inputs
-    /// and the tile constant — bit-identical to [`Self::matmul_naive`] and
-    /// independent of how callers batch or parallelize around it.
+    /// scalar accumulator on both paths, so the result is a pure function
+    /// of the inputs — bit-identical to [`Self::matmul_naive`] regardless
+    /// of which path runs — and independent of how callers batch or
+    /// parallelize around it.
     ///
     /// # Panics
     ///
@@ -335,6 +349,21 @@ impl Matrix {
         );
         out.data.fill(0.0);
         let n = rhs.cols;
+        if rhs.data.len() * std::mem::size_of::<f32>() <= SMALL_GEMM_RHS_BYTES {
+            // Small-shape dispatch: rhs is L1-resident, run the untiled ikj
+            // loop (identical accumulation order, no tile-loop overhead).
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ik * b_kj;
+                    }
+                }
+            }
+            return;
+        }
         for ii in (0..self.rows).step_by(MATMUL_TILE) {
             let i_end = (ii + MATMUL_TILE).min(self.rows);
             for kk in (0..self.cols).step_by(MATMUL_TILE) {
@@ -820,6 +849,23 @@ mod tests {
             let blocked = a.matmul_blocked(&b);
             assert_eq!(naive, blocked, "blocked differs from naive at {m}x{k}x{n}");
             assert_eq!(a.matmul(&b), blocked);
+        }
+    }
+
+    #[test]
+    fn small_shape_dispatch_is_bit_identical_across_the_threshold() {
+        // Shapes straddling SMALL_GEMM_RHS_BYTES (16 KiB of rhs): the qkv
+        // slice (16 KiB, untiled path), the mlp expansion (32 KiB, tiled
+        // path) and one far above. Dispatch must never change results.
+        let mut rng = Rng::new(77);
+        for &(m, k, n) in &[(17, 64, 64), (17, 64, 128), (96, 96, 96), (544, 64, 64)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b),
+                a.matmul_naive(&b),
+                "dispatch changed results at {m}x{k}x{n}"
+            );
         }
     }
 

@@ -28,8 +28,9 @@ pub struct QuantParams {
 
 impl QuantParams {
     /// Smallest representable scale; guards against degenerate all-zero
-    /// tensors producing a zero scale.
-    const MIN_SCALE: f32 = 1e-8;
+    /// tensors producing a zero scale. Crate-visible so the int8 kernel's
+    /// per-row activation fit lands on the identical grid.
+    pub(crate) const MIN_SCALE: f32 = 1e-8;
 
     /// Creates quantization parameters from an explicit scale and zero point.
     ///
@@ -74,8 +75,16 @@ impl QuantParams {
     /// the scale of the whole tensor; the corrupted element itself shows up in
     /// [`QuantParams::saturation_count`] instead.
     pub fn fit_symmetric(m: &Matrix) -> Self {
-        let max_abs = m
-            .as_slice()
+        Self::fit_symmetric_slice(m.as_slice())
+    }
+
+    /// Fits symmetric 8-bit parameters to a slice (zero point 0).
+    ///
+    /// The slice form is what the int8 GEMM uses to fit one quantizer per
+    /// activation row; the semantics are identical to
+    /// [`QuantParams::fit_symmetric`], including ignoring non-finite values.
+    pub fn fit_symmetric_slice(values: &[f32]) -> Self {
+        let max_abs = values
             .iter()
             .filter(|v| v.is_finite())
             .fold(0.0f32, |acc, &v| acc.max(v.abs()));
@@ -115,6 +124,29 @@ impl QuantParams {
     /// Dequantizes one `i8` back to `f32`.
     pub fn dequantize(&self, q: i8) -> f32 {
         (q as i32 - self.zero_point) as f32 * self.scale
+    }
+
+    /// Requantizes a widened `i32` accumulator back to `f32`.
+    ///
+    /// The int8 GEMM accumulates `i8 x i8` products in `i32` (the widest
+    /// value is `127 * 127 * K`, in-range for any realistic reduction depth
+    /// `K`), then maps the accumulator back to real units through the
+    /// *combined* quantizer whose scale is the product of the two operand
+    /// scales. This is [`QuantParams::dequantize`] extended to the full
+    /// `i32` domain: for every `i8` code the two agree exactly.
+    ///
+    /// The zero-point shift runs in `f64` so `acc - zero_point` cannot
+    /// overflow; the shifted accumulator is then rounded to `f32` (exact
+    /// below 2^24, correctly rounded above) and scaled with a single `f32`
+    /// multiply — the same two operations the vectorized int8 kernel
+    /// performs (`cvtdq2ps` + `mulps`), so the helper and the kernel are
+    /// bit-identical. An accumulator product too large for `f32` becomes
+    /// `±inf` rather than being clamped into range — saturation stays
+    /// visible downstream, matching the non-finite-propagation contract of
+    /// [`QuantParams::fake_quant`]: the integer path must never re-launder
+    /// a fault into a healthy value.
+    pub fn requantize(&self, acc: i32) -> f32 {
+        ((acc as f64 - self.zero_point as f64) as f32) * self.scale
     }
 
     /// Quantize-then-dequantize round trip of one value (fake quant).
@@ -311,6 +343,75 @@ mod tests {
         let qp = QuantParams::fit_symmetric(&m);
         let fq = qp.fake_quant_matrix(&m);
         assert!(fq.as_slice()[5].is_nan(), "NaN must survive fake quant");
+    }
+
+    #[test]
+    fn requantize_agrees_with_dequantize_on_every_i8_code() {
+        for &(scale, zp) in &[(0.5f32, 0i32), (0.013, -3), (1e-6, 100), (3.0, -128)] {
+            let qp = QuantParams::new(scale, zp);
+            for q in i8::MIN..=i8::MAX {
+                assert_eq!(
+                    qp.requantize(q as i32),
+                    qp.dequantize(q),
+                    "scale {scale} zp {zp} code {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_known_accumulator() {
+        // A 64-deep dot product of maximal codes: 127 * 127 * 64.
+        let qp = QuantParams::new(2.0, 0);
+        let acc = 127 * 127 * 64;
+        assert_eq!(qp.requantize(acc), acc as f32 * 2.0);
+        // Zero point is subtracted before scaling, like dequantize.
+        let qp = QuantParams::new(0.5, 10);
+        assert_eq!(qp.requantize(10), 0.0);
+        assert_eq!(qp.requantize(14), 2.0);
+    }
+
+    #[test]
+    fn requantize_saturation_overflows_to_inf_not_a_clamped_value() {
+        // An accumulator whose real value exceeds f32 range must come back
+        // as +-inf (visible to health checks), never clamped in-range: the
+        // int8 path is not allowed to re-launder faults (PR 4 contract).
+        let qp = QuantParams::new(f32::MAX / 2.0, 0);
+        assert_eq!(qp.requantize(4), f32::INFINITY);
+        assert_eq!(qp.requantize(-4), f32::NEG_INFINITY);
+        // i32 extremes with a huge zero-point offset stay finite-exact in
+        // the f64 intermediate (no wrap-around) and keep their sign.
+        let qp = QuantParams::new(1.0, i32::MIN);
+        assert!(qp.requantize(i32::MAX) > 0.0);
+        assert!(qp.requantize(i32::MAX).is_finite());
+    }
+
+    #[test]
+    fn requantize_never_fabricates_nan() {
+        // i32 has no NaN, and a finite-positive scale is enforced by
+        // QuantParams::new — so requantize can produce +-inf on overflow
+        // but never NaN: a NaN downstream of the int8 GEMM always traces
+        // back to a poisoned input, not to requantization.
+        for &(scale, zp) in &[(QuantParams::MIN_SCALE, 0), (f32::MAX, i32::MIN)] {
+            let qp = QuantParams::new(scale, zp);
+            for &acc in &[i32::MIN, -1, 0, 1, i32::MAX] {
+                assert!(!qp.requantize(acc).is_nan(), "scale {scale} acc {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_symmetric_slice_matches_matrix_fit() {
+        let mut rng = Rng::new(17);
+        let m = Matrix::randn(6, 6, 2.0, &mut rng);
+        assert_eq!(
+            QuantParams::fit_symmetric(&m),
+            QuantParams::fit_symmetric_slice(m.as_slice())
+        );
+        // Per-row fits see only their own row's range.
+        let qp = QuantParams::fit_symmetric_slice(m.row(2));
+        let max_abs = m.row(2).iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!((qp.scale() - max_abs / 127.0).abs() < 1e-12);
     }
 
     #[test]

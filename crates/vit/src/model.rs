@@ -166,6 +166,28 @@ impl VisionTransformer {
         }
     }
 
+    /// Freezes the model into an *int8* [`crate::PreparedModel`]: every
+    /// [`Linear`] stores packed `i8` weight panels driving the integer GEMM
+    /// instead of a `f32` effective weight — a quarter of the weight memory
+    /// traffic of [`VisionTransformer::prepare`], with the identical
+    /// symmetric weight grid. Logits track the fake-quant reference within
+    /// the documented tolerance (see `pivot_tensor::matmul_quantized`); the
+    /// `prepare()` view stays the accuracy reference path.
+    ///
+    /// The same snapshot rule applies: any mutation of the model
+    /// afterwards requires calling `prepare_int8()` again.
+    pub fn prepare_int8(&self) -> crate::PreparedModel {
+        crate::PreparedModel {
+            config: self.config.clone(),
+            patch_embed: self.patch_embed.prepare_int8(),
+            cls_token: self.cls_token.value.clone(),
+            pos_embed: self.pos_embed.value.clone(),
+            blocks: self.blocks.iter().map(|b| b.prepare_int8()).collect(),
+            norm: self.norm.clone(),
+            head: self.head.prepare_int8(),
+        }
+    }
+
     fn embed(&self, image: &Matrix) -> (Matrix, Matrix) {
         let patches = self.patchify(image);
         let embedded = self.patch_embed.infer(&patches);
