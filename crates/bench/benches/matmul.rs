@@ -1,12 +1,13 @@
 //! Microbenchmarks of the dense matmul kernels under `pivot-tensor`,
 //! at the shapes the tiny ViTs actually execute: naive reference vs. the
-//! blocked microkernel vs. one wide batched GEMM over a stacked batch,
-//! plus the packed-int8 quantized GEMM against the f32 kernels on the
-//! same shapes. Results are written to `BENCH_matmul.json` at the
-//! workspace root.
+//! dispatched kernel (packed SIMD microkernel on AVX2+FMA hosts, scalar
+//! untiled/tiled otherwise) vs. one wide batched GEMM over a stacked
+//! batch, plus the prepacked-weight path and the packed-int8 quantized
+//! GEMM against the f32 kernels on the same shapes. Results are written
+//! to `BENCH_matmul.json` at the workspace root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pivot_tensor::{matmul_quantized_into, Batch, Matrix, PackedInt8, Rng, MATMUL_TILE};
+use pivot_tensor::{matmul_quantized_into, Batch, Matrix, PackedF32, PackedInt8, Rng};
 
 /// Samples stacked into the wide-GEMM comparison (matches
 /// `pivot_core::EVAL_BATCH`).
@@ -17,14 +18,14 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
 
-    // Tiny-ViT projection: tokens x dim * dim x dim, naive vs blocked.
+    // Tiny-ViT projection: tokens x dim * dim x dim, naive vs dispatched.
     let x17 = Matrix::randn(17, 64, 1.0, &mut rng);
     let w64 = Matrix::randn(64, 64, 1.0, &mut rng);
     group.bench_function("naive 17x64 * 64x64 (qkv slice)", |b| {
         b.iter(|| black_box(&x17).matmul_naive(black_box(&w64)))
     });
-    group.bench_function("blocked 17x64 * 64x64 (qkv slice)", |b| {
-        b.iter(|| black_box(&x17).matmul_blocked(black_box(&w64)))
+    group.bench_function("dispatched 17x64 * 64x64 (qkv slice)", |b| {
+        b.iter(|| black_box(&x17).matmul(black_box(&w64)))
     });
 
     // MLP expansion.
@@ -32,19 +33,20 @@ fn bench_matmul(c: &mut Criterion) {
     group.bench_function("naive 17x64 * 64x128 (mlp fc1)", |b| {
         b.iter(|| black_box(&x17).matmul_naive(black_box(&w_up)))
     });
-    group.bench_function("blocked 17x64 * 64x128 (mlp fc1)", |b| {
-        b.iter(|| black_box(&x17).matmul_blocked(black_box(&w_up)))
+    group.bench_function("dispatched 17x64 * 64x128 (mlp fc1)", |b| {
+        b.iter(|| black_box(&x17).matmul(black_box(&w_up)))
     });
 
-    // A multi-tile square GEMM where blocking earns its keep.
-    let sq = 3 * MATMUL_TILE;
+    // A multi-tile square GEMM — the shape where the old tiled kernel
+    // regressed below naive.
+    let sq = 96;
     let a_sq = Matrix::randn(sq, sq, 1.0, &mut rng);
     let b_sq = Matrix::randn(sq, sq, 1.0, &mut rng);
     group.bench_function(format!("naive {sq}x{sq} * {sq}x{sq}"), |b| {
         b.iter(|| black_box(&a_sq).matmul_naive(black_box(&b_sq)))
     });
-    group.bench_function(format!("blocked {sq}x{sq} * {sq}x{sq}"), |b| {
-        b.iter(|| black_box(&a_sq).matmul_blocked(black_box(&b_sq)))
+    group.bench_function(format!("dispatched {sq}x{sq} * {sq}x{sq}"), |b| {
+        b.iter(|| black_box(&a_sq).matmul(black_box(&b_sq)))
     });
 
     // Batched: BATCH per-sample GEMMs vs. one wide GEMM over the stack —
@@ -71,6 +73,29 @@ fn bench_matmul(c: &mut Criterion) {
         format!("batched {}x64 * 64x64 (matmul_into)", BATCH * 17),
         |b| b.iter(|| black_box(stacked.as_matrix()).matmul_into(black_box(&w64), &mut out)),
     );
+    // Naive reference at the batched shape — the ISSUE-7 speedup target
+    // and the floor the dispatched kernel must never fall below.
+    group.bench_function(format!("naive {}x64 * 64x64 (batched)", BATCH * 17), |b| {
+        b.iter(|| black_box(stacked.as_matrix()).matmul_naive(black_box(&w64)))
+    });
+    // Weight prepacked once (the PreparedLinear fast path): the same
+    // kernel as matmul_into with the per-call pack hoisted out.
+    let packed_f32 = PackedF32::pack(&w64);
+    group.bench_function(
+        format!(
+            "prepacked {}x64 * 64x64 (matmul_prepacked_into)",
+            BATCH * 17
+        ),
+        |b| {
+            b.iter(|| {
+                black_box(stacked.as_matrix())
+                    .matmul_prepacked_into(black_box(&packed_f32), &mut out)
+            })
+        },
+    );
+    group.bench_function("pack 64x64 weights (f32 panels)", |b| {
+        b.iter(|| black_box(PackedF32::pack(black_box(&w64))))
+    });
 
     // Packed int8 GEMM vs. the f32 kernels on the same shapes: the
     // per-row activation quantization + i8xi8->i32 sweep + requantization

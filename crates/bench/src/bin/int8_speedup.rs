@@ -32,14 +32,17 @@ fn main() {
         "\nint8 batched evaluation: {:.2}x over the fake-quant reference",
         report.speedup()
     );
-    // The integer GEMM itself is >2x the f32 kernel (see BENCH_matmul);
-    // end-to-end evaluation dilutes that with attention, layernorm, and
-    // softmax work shared by both paths, and the floor leaves slack for a
-    // loaded machine.
+    // The integer GEMM beat the then-scalar f32 kernel >2x when this
+    // path landed; the f32 SIMD microkernel (DESIGN.md §4f) has since
+    // closed the arithmetic gap, so on AVX2 hosts the two paths run at
+    // parity and int8's enduring win is the exact 4x weight-byte
+    // reduction asserted above. The floor guards against a real kernel
+    // regression (a broken pack or sweep is an order of magnitude
+    // slower), not a speedup claim.
     if !smoke {
         assert!(
-            report.speedup() >= 1.1,
-            "int8 batched eval only {:.2}x faster than fake-quant",
+            report.speedup() >= 0.8,
+            "int8 batched eval {:.2}x vs fake-quant — below the parity floor",
             report.speedup()
         );
     }

@@ -1,0 +1,308 @@
+//! Dispatched f32 GEMM vs. the naive reference — the bench contract for
+//! the packed SIMD microkernel (DESIGN.md §4f).
+//!
+//! Part of this reproduction's performance trajectory rather than a paper
+//! figure. `Matrix::matmul` dispatches to the packed AVX2+FMA microkernel
+//! on capable hosts and to the scalar untiled/tiled ladder elsewhere; this
+//! experiment pins the two promises the dispatch makes at the shapes the
+//! tiny ViTs actually execute:
+//!
+//! - **never slower than naive** — the whole point of dispatching is that
+//!   the chosen kernel wins (or ties, on scalar hosts where the untiled
+//!   arm is the same loop) at every benched shape,
+//! - **never further from naive than the documented tolerance** — the
+//!   fused-accumulation bound of DESIGN.md §4f, zero on scalar hosts where
+//!   the dispatched arms are bit-identical to `matmul_naive`,
+//!
+//! plus the end-to-end consequence the rest of the stack relies on:
+//! cascade predictions through the prepared (prepacked-weight) views are
+//! argmax-identical to a gate replayed from per-sample unprepared
+//! inference — bitwise, not statistically, because every dispatch arm is
+//! batch-invariant and `prepare` only hoists the pack out of the call.
+
+use crate::Table;
+use pivot_core::{batched_logits, stays_low, MultiEffortVit, Parallelism};
+use pivot_data::{Dataset, DatasetConfig};
+use pivot_nn::normalized_entropy;
+use pivot_tensor::{f32_simd_available, Matrix, Rng};
+use pivot_vit::{VisionTransformer, VitConfig};
+use std::time::Instant;
+
+/// The GEMM shapes `(m, k, n)` the contract runs on: the qkv slice and
+/// MLP expansion of the tiny ViT, the multi-tile square where the old
+/// tiled kernel regressed below naive, and the `EVAL_BATCH`-stacked
+/// projection the batched evaluator issues per layer.
+pub const F32_BENCH_SHAPES: [(usize, usize, usize); 4] =
+    [(17, 64, 64), (17, 64, 128), (96, 96, 96), (544, 64, 64)];
+
+/// Multiplicative slack on the no-regression timing contract. On SIMD
+/// hosts the dispatched kernel wins by >2x so the slack is irrelevant; on
+/// scalar hosts the untiled arm is the same loop as naive and the slack
+/// only absorbs timer jitter around 1.0x.
+pub const F32_TIMING_SLACK: f64 = 1.25;
+
+/// Min-of-iterations wall clock for one benched GEMM shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeTiming {
+    /// Output rows.
+    pub m: usize,
+    /// Contraction length.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// `matmul_naive` minimum (ms).
+    pub naive_ms: f64,
+    /// Dispatched `matmul` minimum (ms).
+    pub dispatched_ms: f64,
+}
+
+impl ShapeTiming {
+    /// Naive-over-dispatched speedup (higher is better).
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.dispatched_ms.max(1e-9)
+    }
+}
+
+/// Wall-clock and contract report for dispatched-f32 vs. naive GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F32Speedup {
+    /// Whether the SIMD microkernel was active (AVX2+FMA detected).
+    pub simd: bool,
+    /// Per-shape timings over [`F32_BENCH_SHAPES`].
+    pub shapes: Vec<ShapeTiming>,
+    /// Worst observed `|dispatched - naive|` across all shapes, as a
+    /// fraction of the documented fused-accumulation bound (§4f):
+    /// `2k * eps * max(|A||B|, 1)` elementwise. `<= 1.0` means every
+    /// element was inside the tolerance; exactly `0.0` on scalar hosts.
+    pub max_tolerance_ratio: f32,
+    /// Cascade predictions through the prepared views agreeing with the
+    /// gate replayed from per-sample unprepared inference.
+    pub cascade_agree: usize,
+    /// Size of the fixed cascade eval set.
+    pub cascade_total: usize,
+}
+
+impl F32Speedup {
+    /// Smallest per-shape speedup (the binding side of the contract).
+    pub fn min_speedup(&self) -> f64 {
+        self.shapes
+            .iter()
+            .map(ShapeTiming::speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether the dispatched kernel was at least as fast as naive
+    /// (within [`F32_TIMING_SLACK`]) at every benched shape.
+    pub fn no_shape_regresses(&self) -> bool {
+        self.shapes
+            .iter()
+            .all(|s| s.dispatched_ms <= s.naive_ms * F32_TIMING_SLACK)
+    }
+
+    /// Whether every element of every benched product stayed inside the
+    /// documented fused-accumulation tolerance.
+    pub fn tolerance_ok(&self) -> bool {
+        self.max_tolerance_ratio <= 1.0
+    }
+
+    /// Whether the prepared-view cascade predicted identically to the
+    /// unprepared reference gate on every eval sample.
+    pub fn argmax_identical(&self) -> bool {
+        self.cascade_agree == self.cascade_total
+    }
+}
+
+fn min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Worst `|got - want|` over the product's elements as a fraction of the
+/// §4f bound `2k * eps * max(|A||B|, 1)` — the same check the tensor
+/// crate's `max_fused_violation` test helper performs, recomputed here so
+/// the bench contract is self-contained.
+fn fused_violation(got: &Matrix, a: &Matrix, b: &Matrix, want: &Matrix) -> f32 {
+    let mut abs_a = a.clone();
+    abs_a.map_in_place(f32::abs);
+    let mut abs_b = b.clone();
+    abs_b.map_in_place(f32::abs);
+    let bound = abs_a.matmul_naive(&abs_b);
+    let k = a.cols() as f32;
+    let mut worst = 0f32;
+    for i in 0..got.len() {
+        let allowed = 2.0 * k * f32::EPSILON * bound.as_slice()[i].max(1.0);
+        worst = worst.max((got.as_slice()[i] - want.as_slice()[i]).abs() / allowed);
+    }
+    worst
+}
+
+/// Cascade eval samples per class (the fixed eval set has
+/// `4 * CASCADE_EVAL_PER_CLASS` samples).
+const CASCADE_EVAL_PER_CLASS: usize = 24;
+
+/// Measures dispatched vs. naive f32 GEMM at [`F32_BENCH_SHAPES`]
+/// (min over `iters` calls per shape), checks the fused-accumulation
+/// tolerance at each shape, and replays the cascade gate from unprepared
+/// per-sample inference to pin argmax identity of the prepared views.
+/// Prints a report.
+///
+/// Untrained models suffice for the cascade check: unlike the int8
+/// experiment, the prepared path here is *bit-identical* to unprepared
+/// inference (same kernel, pack hoisted), so identity is exact rather
+/// than a margin statement — training would only slow the experiment
+/// without strengthening the assertion.
+pub fn f32_speedup(iters: usize) -> F32Speedup {
+    println!("\n=== Dispatched f32 GEMM vs. naive reference ===");
+    let simd = f32_simd_available();
+    println!(
+        "SIMD microkernel: {}; min over {iters} call(s) per shape\n",
+        if simd {
+            "active (AVX2+FMA)"
+        } else {
+            "inactive (scalar dispatch)"
+        }
+    );
+
+    let mut rng = Rng::new(11);
+    let mut shapes = Vec::with_capacity(F32_BENCH_SHAPES.len());
+    let mut max_tolerance_ratio = 0f32;
+    for &(m, k, n) in &F32_BENCH_SHAPES {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        // Warm both paths up and check the numeric contract on the way.
+        let got = a.matmul(&b);
+        let want = a.matmul_naive(&b);
+        max_tolerance_ratio = max_tolerance_ratio.max(fused_violation(&got, &a, &b, &want));
+        let naive_ms = min_ms(iters, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)));
+        });
+        let dispatched_ms = min_ms(iters, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+        });
+        shapes.push(ShapeTiming {
+            m,
+            k,
+            n,
+            naive_ms,
+            dispatched_ms,
+        });
+    }
+
+    // Cascade argmax identity: replay the gate from *unprepared*
+    // per-sample inference (public `normalized_entropy` + `stays_low`)
+    // and compare against `MultiEffortVit::infer`, which runs entirely on
+    // the prepared (prepacked-weight) views. The threshold sits at the
+    // median low-effort entropy so both efforts answer real traffic; a
+    // knife-edge threshold would still be safe — both sides compute the
+    // same entropy bits — but a mid-distribution one makes the check
+    // exercise both arms.
+    let eval = Dataset::generate(
+        &DatasetConfig {
+            classes: 4,
+            image_size: 16,
+            train_per_class: 1,
+            test_per_class: CASCADE_EVAL_PER_CLASS,
+            difficulty: (0.0, 0.8),
+        },
+        47,
+    )
+    .test;
+    let cfg = VitConfig::test_small();
+    let mut low = VisionTransformer::new(&cfg, &mut Rng::new(9));
+    low.set_active_attentions(&[0]);
+    let high = VisionTransformer::new(&cfg, &mut Rng::new(10));
+
+    let low_logits: Vec<Matrix> = eval.iter().map(|s| low.infer(&s.image)).collect();
+    let mut entropies: Vec<f32> = low_logits.iter().map(normalized_entropy).collect();
+    entropies.sort_by(f32::total_cmp);
+    let threshold = entropies[entropies.len() / 2].clamp(0.0, 1.0);
+
+    let cascade = MultiEffortVit::new(low.clone(), high.clone(), threshold);
+    // The prepared batched evaluator must reproduce the per-sample
+    // unprepared logits bit-for-bit — the batch-invariance contract of
+    // the microkernel surfacing at the model level.
+    let batched = batched_logits(&low.prepare(), &eval, Parallelism::Auto);
+    assert_eq!(
+        batched, low_logits,
+        "batched prepared logits must be bit-identical to per-sample unprepared inference"
+    );
+
+    let cascade_agree = eval
+        .iter()
+        .zip(&low_logits)
+        .filter(|(s, logits)| {
+            let reference = if stays_low(normalized_entropy(logits), threshold) {
+                logits.row_argmax(0)
+            } else {
+                let high_logits = high.infer(&s.image);
+                if high_logits.as_slice().iter().all(|v| v.is_finite()) {
+                    high_logits.row_argmax(0)
+                } else {
+                    logits.row_argmax(0)
+                }
+            };
+            cascade.infer(&s.image).prediction == reference
+        })
+        .count();
+
+    let out = F32Speedup {
+        simd,
+        shapes,
+        max_tolerance_ratio,
+        cascade_agree,
+        cascade_total: eval.len(),
+    };
+
+    let mut table = Table::new(&["GEMM shape", "Naive (ms)", "Dispatched (ms)", "Speedup"]);
+    for s in &out.shapes {
+        table.row_owned(vec![
+            format!("{}x{} * {}x{}", s.m, s.k, s.k, s.n),
+            format!("{:.4}", s.naive_ms),
+            format!("{:.4}", s.dispatched_ms),
+            format!("{:.2}x", s.speedup()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "max deviation {:.3} of the fused tolerance; cascade (threshold {threshold:.3}) \
+         argmax identical on {}/{} samples",
+        out.max_tolerance_ratio, out.cascade_agree, out.cascade_total
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_report_meets_the_numeric_contract() {
+        // Few timing iterations: this validates wiring and the numeric
+        // contracts, not throughput (the bin asserts the timing contract
+        // under a release build).
+        let report = f32_speedup(3);
+        assert!(
+            report.tolerance_ok(),
+            "dispatched GEMM deviates {:.3}x the documented tolerance",
+            report.max_tolerance_ratio
+        );
+        assert!(
+            report.argmax_identical(),
+            "prepared cascade diverged from the unprepared gate: {}/{} agree",
+            report.cascade_agree,
+            report.cascade_total
+        );
+        assert_eq!(report.cascade_total, 4 * CASCADE_EVAL_PER_CLASS);
+        assert_eq!(report.shapes.len(), F32_BENCH_SHAPES.len());
+        assert!(report.shapes.iter().all(|s| s.naive_ms > 0.0));
+        if !report.simd {
+            // Scalar dispatch arms are bit-identical to naive.
+            assert_eq!(report.max_tolerance_ratio, 0.0);
+        }
+    }
+}

@@ -259,9 +259,13 @@ mod tests {
     }
 
     /// Multi-core throughput smoke test (`cargo test -- --ignored`):
-    /// at 1000 samples the batched cascade evaluation must beat the PR 1
-    /// per-sample path by >= 2x. Ignored by default because it takes tens
-    /// of seconds and its timing assertions are load-sensitive.
+    /// at 1000 samples the batched cascade evaluation must still beat
+    /// the PR 1 per-sample path, and on hosts with >= 4 cores the
+    /// multi-worker evaluation must beat sequential by >= 2x. Ignored by
+    /// default because it takes tens of seconds and its timing assertions
+    /// are load-sensitive. The thread-scaling assertion self-skips on
+    /// small hosts (it cannot hold on 1–3 cores), so the test can be
+    /// wired into multi-core CI without failing on single-core runners.
     #[test]
     #[ignore = "throughput smoke test; run explicitly with --ignored"]
     fn parallel_speedup_smoke() {
@@ -270,10 +274,29 @@ mod tests {
             report.bit_identical,
             "parallel results must be bit-identical"
         );
+        // The wide-GEMM batching win was ~3.5x against the scalar f32
+        // kernel; the SIMD microkernel (DESIGN.md §4f) sped the narrow
+        // per-sample GEMMs up more than the wide ones, so the measured
+        // edge is now ~1.2x. The floor asserts batching never *loses*,
+        // with slack for a loaded machine.
         assert!(
-            report.batch_speedup() >= 2.0,
+            report.batch_speedup() >= 1.05,
             "batched cascade evaluation only {:.2}x faster than per-sample",
             report.batch_speedup()
         );
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            assert!(
+                report.evaluate_speedup() >= 2.0,
+                "parallel evaluation only {:.2}x faster than sequential on {cores} cores",
+                report.evaluate_speedup()
+            );
+        } else {
+            println!(
+                "skipping thread-scaling assertion: {cores} core(s) available, need >= 4 \
+                 (measured {:.2}x)",
+                report.evaluate_speedup()
+            );
+        }
     }
 }

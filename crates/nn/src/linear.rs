@@ -1,7 +1,7 @@
 //! Affine projection layer with optional 8-bit fake quantization.
 
 use crate::{Layer, Param};
-use pivot_tensor::{Matrix, QuantParams, Rng};
+use pivot_tensor::{Matrix, PackedF32, QuantParams, Rng};
 
 /// Whether a [`Linear`] layer fake-quantizes its weights in the forward pass.
 ///
@@ -118,8 +118,12 @@ impl Linear {
         let saturation = params
             .map(|qp| qp.saturation_count(self.weight.value.as_slice()))
             .unwrap_or(0);
+        // Pre-pack the weight for the SIMD microkernel when the runtime
+        // dispatch would use it, hoisting the per-call pack out of every
+        // forward. Bit-identical either way — same kernel.
+        let panels = pivot_tensor::f32_simd_available().then(|| PackedF32::pack(&w_eff));
         crate::PreparedLinear {
-            kernel: crate::prepared::PreparedKernel::F32 { w_eff },
+            kernel: crate::prepared::PreparedKernel::F32 { w_eff, panels },
             bias: self.bias.value.clone(),
             params,
             saturation,

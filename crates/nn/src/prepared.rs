@@ -15,18 +15,28 @@
 //! weights) invalidates it and requires calling `prepare()` again.
 
 use crate::LayerNorm;
-use pivot_tensor::{gelu, matmul_quantized, softmax_row, Matrix, PackedInt8, QuantParams};
+use pivot_tensor::{
+    gelu, matmul_quantized, softmax_row, Matrix, PackedF32, PackedInt8, QuantParams,
+};
 
-/// The GEMM backend a [`PreparedLinear`] runs on — the same two-path
-/// pattern as `matmul_naive` vs the blocked kernel: `F32` is the accuracy
+/// The GEMM backend a [`PreparedLinear`] runs on: `F32` is the accuracy
 /// reference (full precision or fake-quantized effective weight), `Int8`
 /// is the deployment path storing packed `i8` panels (a quarter of the
 /// weight memory traffic) and driving the integer GEMM.
 #[derive(Debug, Clone)]
 pub(crate) enum PreparedKernel {
     /// `f32` effective weight — full precision, or fake-quantized in `Int8`
-    /// quant mode. The reference path.
-    F32 { w_eff: Matrix },
+    /// quant mode. The reference path. On AVX2+FMA machines `panels` holds
+    /// the weight pre-packed for the SIMD microkernel
+    /// ([`pivot_tensor::PackedF32`]), so repeated forwards skip the
+    /// per-call pack `matmul` would do; it is `None` when the runtime
+    /// dispatch would take a scalar arm anyway. Using the cached pack is
+    /// bit-identical to `matmul` against `w_eff` — the kernel is the same,
+    /// packing is the only work hoisted out.
+    F32 {
+        w_eff: Matrix,
+        panels: Option<PackedF32>,
+    },
     /// Packed `i8` weight panels on the integer GEMM
     /// ([`pivot_tensor::matmul_quantized`]).
     Int8 { packed: PackedInt8 },
@@ -57,7 +67,12 @@ impl PreparedLinear {
     /// int8-vs-fake-quant tolerance (see `pivot_tensor::matmul_quantized`).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         match &self.kernel {
-            PreparedKernel::F32 { w_eff } => x.matmul(w_eff).add_row_broadcast(self.bias.row(0)),
+            PreparedKernel::F32 {
+                panels: Some(p), ..
+            } => x.matmul_prepacked(p).add_row_broadcast(self.bias.row(0)),
+            PreparedKernel::F32 { w_eff, panels: _ } => {
+                x.matmul(w_eff).add_row_broadcast(self.bias.row(0))
+            }
             PreparedKernel::Int8 { packed } => {
                 matmul_quantized(x, packed).add_row_broadcast(self.bias.row(0))
             }
@@ -73,7 +88,9 @@ impl PreparedLinear {
     /// weight on the `F32` kernel, 1 on the packed `Int8` kernel.
     pub fn weight_bytes(&self) -> usize {
         match &self.kernel {
-            PreparedKernel::F32 { w_eff } => w_eff.len() * std::mem::size_of::<f32>(),
+            // The cached SIMD pack is a layout copy, not extra streamed
+            // weight data, so it does not count here.
+            PreparedKernel::F32 { w_eff, .. } => w_eff.len() * std::mem::size_of::<f32>(),
             PreparedKernel::Int8 { packed } => packed.size_bytes(),
         }
     }
@@ -81,7 +98,7 @@ impl PreparedLinear {
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
         match &self.kernel {
-            PreparedKernel::F32 { w_eff } => w_eff.rows(),
+            PreparedKernel::F32 { w_eff, .. } => w_eff.rows(),
             PreparedKernel::Int8 { packed } => packed.in_dim(),
         }
     }
@@ -89,7 +106,7 @@ impl PreparedLinear {
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
         match &self.kernel {
-            PreparedKernel::F32 { w_eff } => w_eff.cols(),
+            PreparedKernel::F32 { w_eff, .. } => w_eff.cols(),
             PreparedKernel::Int8 { packed } => packed.out_dim(),
         }
     }

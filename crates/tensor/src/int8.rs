@@ -180,7 +180,7 @@ pub fn matmul_quantized(x: &Matrix, w: &PackedInt8) -> Matrix {
 /// already inside the documented int8-vs-fake-quant tolerance.
 ///
 /// Two kernels compute the dot products, following the same two-path
-/// pattern as `matmul_naive` vs the blocked kernel: a portable reference
+/// pattern as `matmul_naive` vs the dispatched kernel: a portable reference
 /// loop with unrolled `i32` accumulator lanes over the contiguous panels
 /// (the shape the autovectorizer maps onto integer multiply-add lanes),
 /// and on `x86_64` with runtime-detected AVX2 an explicit `pmaddwd`

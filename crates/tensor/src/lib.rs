@@ -27,6 +27,7 @@ mod batch;
 mod health;
 mod int8;
 mod matrix;
+mod microkernel;
 mod ops;
 mod quant;
 mod rng;
@@ -35,6 +36,7 @@ pub use batch::Batch;
 pub use health::NonFiniteError;
 pub use int8::{matmul_quantized, matmul_quantized_into, PackedInt8};
 pub use matrix::{Matrix, MATMUL_TILE};
+pub use microkernel::{f32_simd_available, PackedF32, PANEL_WIDTH};
 pub use ops::{erf, gelu, gelu_derivative, log_softmax_row, softmax_row, stable_softmax_in_place};
 pub use quant::{QuantParams, Quantized};
 pub use rng::Rng;

@@ -1,10 +1,11 @@
 //! Row-major dense `f32` matrix.
 
+use crate::microkernel::{f32_simd_available, LhsView, PackedF32};
 use crate::rng::Rng;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 
-/// Tile edge used by the blocked matmul kernels.
+/// Tile edge used by the tiled scalar matmul fallback.
 ///
 /// 32 rows of f32 at ViT widths (64–1536 columns) keep one tile of the
 /// streamed operand plus a block of output rows inside a typical 256 KiB
@@ -14,15 +15,18 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 /// results — only speed.
 pub const MATMUL_TILE: usize = 32;
 
-/// `rhs` footprint (bytes) below which [`Matrix::matmul_into`] skips tiling.
+/// `rhs` footprint (bytes) below which the scalar matmul arms skip tiling.
 ///
-/// When the whole streamed operand fits in half of a typical 32 KiB L1,
-/// blocking saves no traffic — every `rhs` panel is L1-resident anyway —
-/// and the extra tile loops only cost overhead (visible in
-/// `BENCH_matmul.json` as the blocked kernel losing to naive on the
-/// 17x64 * 64x64 qkv slice). Both code paths share the same ascending-`k`
-/// accumulation order, so dispatch can never change results.
-const SMALL_GEMM_RHS_BYTES: usize = 16 * 1024;
+/// When the whole streamed operand is cache-resident (L2 on any machine
+/// this targets), blocking saves no memory traffic — every `rhs` row is a
+/// hit anyway — and the extra tile loops only cost overhead. The earlier
+/// 16 KiB (half-of-L1) threshold was too conservative: `BENCH_matmul.json`
+/// showed the tiled path *losing* to naive at 96x96x96 (36 KiB rhs), so
+/// the cutoff now admits anything up to 128 KiB and tiling is reserved
+/// for operands that genuinely spill (large MLP expansions). Both scalar
+/// paths share the same ascending-`k` accumulation order, so this
+/// dispatch can never change results.
+const SMALL_GEMM_RHS_BYTES: usize = 128 * 1024;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -262,9 +266,9 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Delegates to the blocked kernel ([`Self::matmul_into`]), which tiles
-    /// the row and reduction dimensions at [`MATMUL_TILE`] so the streamed
-    /// `rhs` block stays cache-resident across a block of output rows.
+    /// Delegates to the dispatched kernel ([`Self::matmul_into`]): the
+    /// packed SIMD microkernel on AVX2+FMA hosts, the scalar
+    /// untiled/tiled ladder elsewhere.
     ///
     /// # Panics
     ///
@@ -275,10 +279,12 @@ impl Matrix {
         out
     }
 
-    /// Reference ikj matmul with no blocking — the kernel the blocked
-    /// variant is validated against. Accumulates each output element in
-    /// ascending-`k` order with one scalar accumulator, the same fixed
-    /// order the blocked kernel uses.
+    /// Reference ikj matmul with no blocking — the ground truth every
+    /// other kernel is validated against. Accumulates each output element
+    /// in ascending-`k` order with one scalar accumulator (round after
+    /// every multiply, no fusing): the scalar arms of [`Self::matmul_into`]
+    /// reproduce it bit for bit, and the SIMD arm is pinned to it within
+    /// the fused-rounding tolerance documented in [`crate::microkernel`].
     ///
     /// # Panics
     ///
@@ -305,30 +311,32 @@ impl Matrix {
         out
     }
 
-    /// Blocked/tiled matrix product `self * rhs` (see [`Self::matmul_into`]).
+    /// Matrix product written into a caller-owned output buffer, so hot
+    /// loops (batched forwards, attention scores) can reuse one allocation
+    /// across calls.
     ///
-    /// # Panics
+    /// Dispatch ladder, decided per call:
     ///
-    /// Panics if `self.cols() != rhs.rows()`.
-    pub fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs)
-    }
-
-    /// Blocked matrix product written into a caller-owned output buffer,
-    /// so hot loops (batched forwards, attention scores) can reuse one
-    /// allocation across calls.
+    /// 1. **SIMD** — on x86-64 with AVX2+FMA ([`crate::f32_simd_available`]),
+    ///    `rhs` is packed into [`PackedF32`] column panels and the
+    ///    register-tiled fused kernel in [`crate::microkernel`] runs. Hot
+    ///    loops that reuse the same `rhs` should pack once and call
+    ///    [`Self::matmul_prepacked_into`] to skip the per-call pack.
+    /// 2. **Untiled scalar** — when `rhs` is cache-resident
+    ///    ([`SMALL_GEMM_RHS_BYTES`]), the plain ikj loop: tiling an operand
+    ///    that already fits in cache only adds loop overhead.
+    /// 3. **Tiled scalar** — output rows and the reduction tiled at
+    ///    [`MATMUL_TILE`] so a `MATMUL_TILE`-row panel of `rhs` is streamed
+    ///    once per row block.
     ///
-    /// The kernel tiles output rows and the reduction dimension at
-    /// [`MATMUL_TILE`]; within a row block, a `MATMUL_TILE`-row panel of
-    /// `rhs` is streamed once and reused for every row of the block. When
-    /// `rhs` is small enough to be L1-resident ([`SMALL_GEMM_RHS_BYTES`])
-    /// the kernel dispatches to the untiled loop instead — tiling an
-    /// operand that already fits in cache only adds loop overhead. Each
-    /// output element is accumulated in ascending-`k` order with a single
-    /// scalar accumulator on both paths, so the result is a pure function
-    /// of the inputs — bit-identical to [`Self::matmul_naive`] regardless
-    /// of which path runs — and independent of how callers batch or
-    /// parallelize around it.
+    /// Both scalar arms accumulate each element in ascending-`k` order with
+    /// one scalar accumulator and are **bit-identical** to
+    /// [`Self::matmul_naive`]. The SIMD arm keeps the same per-element
+    /// chain but fuses each multiply-add (one rounding per term), so it
+    /// matches naive within the documented tolerance — see
+    /// [`crate::microkernel`] — while staying a pure function of
+    /// `(a_row, rhs)`: results never depend on the output's row count, on
+    /// batching, or on how callers parallelize around the kernel.
     ///
     /// # Panics
     ///
@@ -347,23 +355,59 @@ impl Matrix {
             (self.rows, rhs.cols),
             "matmul_into output shape mismatch"
         );
-        out.data.fill(0.0);
-        let n = rhs.cols;
-        if rhs.data.len() * std::mem::size_of::<f32>() <= SMALL_GEMM_RHS_BYTES {
-            // Small-shape dispatch: rhs is L1-resident, run the untiled ikj
-            // loop (identical accumulation order, no tile-loop overhead).
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (k, &a_ik) in a_row.iter().enumerate() {
-                    let b_row = &rhs.data[k * n..(k + 1) * n];
-                    for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ik * b_kj;
-                    }
-                }
-            }
+        #[cfg(target_arch = "x86_64")]
+        if f32_simd_available() {
+            let packed = PackedF32::pack(rhs);
+            crate::microkernel::gemm_packed(self.lhs_view(), self.rows, &packed, &mut out.data);
             return;
         }
+        self.matmul_into_scalar(rhs, out);
+    }
+
+    /// Row-major [`LhsView`] of this matrix for the packed kernels.
+    fn lhs_view(&self) -> LhsView<'_> {
+        LhsView {
+            base: &self.data,
+            row_stride: self.cols,
+            k_stride: 1,
+        }
+    }
+
+    /// The scalar dispatch of [`Self::matmul_into`]: untiled when `rhs` is
+    /// cache-resident, tiled otherwise. Both arms are bit-identical to
+    /// [`Self::matmul_naive`].
+    fn matmul_into_scalar(&self, rhs: &Matrix, out: &mut Matrix) {
+        if rhs.data.len() * std::mem::size_of::<f32>() <= SMALL_GEMM_RHS_BYTES {
+            self.matmul_into_scalar_untiled(rhs, out);
+        } else {
+            self.matmul_into_scalar_tiled(rhs, out);
+        }
+    }
+
+    /// Untiled scalar ikj arm — the [`Self::matmul_naive`] loop writing
+    /// into a reused buffer.
+    fn matmul_into_scalar_untiled(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+    }
+
+    /// Tiled scalar arm: output rows and the reduction tiled at
+    /// [`MATMUL_TILE`]. Ascending-`k` per element, bit-identical to the
+    /// untiled arm — tiling only reorders *which rows* are in flight,
+    /// never the reduction order within an element.
+    fn matmul_into_scalar_tiled(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.data.fill(0.0);
+        let n = rhs.cols;
         for ii in (0..self.rows).step_by(MATMUL_TILE) {
             let i_end = (ii + MATMUL_TILE).min(self.rows);
             for kk in (0..self.cols).step_by(MATMUL_TILE) {
@@ -382,6 +426,53 @@ impl Matrix {
         }
     }
 
+    /// Matrix product against an operand packed once with
+    /// [`PackedF32::pack`] — the panel-cached fast path for weight
+    /// operands that are reused across many calls (see
+    /// `pivot_nn::PreparedLinear`).
+    ///
+    /// Bit-identical to [`Self::matmul`] against the unpacked operand on
+    /// every machine: the SIMD arm runs the identical kernel (packing is
+    /// the only work hoisted out), and the non-SIMD fallback replays the
+    /// scalar unfused accumulation order through the panel layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != packed.k()`.
+    pub fn matmul_prepacked(&self, packed: &PackedF32) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, packed.n());
+        self.matmul_prepacked_into(packed, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_prepacked`] into a caller-owned output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != packed.k()` or `out` is not
+    /// `self.rows() x packed.n()`.
+    pub fn matmul_prepacked_into(&self, packed: &PackedF32, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            packed.k(),
+            "matmul_prepacked shape mismatch: {:?} x packed {}x{}",
+            self.shape(),
+            packed.k(),
+            packed.n()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, packed.n()),
+            "matmul_prepacked_into output shape mismatch"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if f32_simd_available() {
+            crate::microkernel::gemm_packed(self.lhs_view(), self.rows, packed, &mut out.data);
+            return;
+        }
+        crate::microkernel::gemm_panels_unfused(self.lhs_view(), self.rows, packed, &mut out.data);
+    }
+
     /// Matrix product `self * rhs.transpose()` without materializing the
     /// transpose.
     ///
@@ -396,9 +487,22 @@ impl Matrix {
 
     /// [`Self::matmul_transpose_b`] into a caller-owned output buffer.
     ///
-    /// Output rows and `rhs` rows are tiled at [`MATMUL_TILE`] so a panel
-    /// of `rhs` stays cache-resident across a block of `self` rows; each
-    /// element is one ascending-`k` dot product.
+    /// Each output element is one dot product of two contiguous rows, so
+    /// no packing is needed; the dispatch ladder is:
+    ///
+    /// 1. **SIMD** — AVX2+FMA lane-split fused dot kernel (exact
+    ///    accumulation order documented in [`crate::microkernel`]).
+    /// 2. **Untiled scalar** — when `rhs` is cache-resident
+    ///    ([`SMALL_GEMM_RHS_BYTES`]), plain row-pair dot products: the
+    ///    attention-score GEMM (`17x16 * (17x16)^T`, ~1 KiB rhs) lives
+    ///    here and previously paid the tile-loop overhead for nothing.
+    /// 3. **Tiled scalar** — output rows and `rhs` rows tiled at
+    ///    [`MATMUL_TILE`] so a block of `rhs` rows stays cache-resident
+    ///    across a block of `self` rows.
+    ///
+    /// Both scalar arms are single ascending-`k` accumulator chains and
+    /// bit-identical to each other (and to `matmul_naive` against the
+    /// materialized transpose).
     ///
     /// # Panics
     ///
@@ -417,6 +521,43 @@ impl Matrix {
             (self.rows, rhs.rows),
             "matmul_transpose_b_into output shape mismatch"
         );
+        #[cfg(target_arch = "x86_64")]
+        if f32_simd_available() {
+            crate::microkernel::gemm_transpose_b(self, rhs, out);
+            return;
+        }
+        self.matmul_transpose_b_into_scalar(rhs, out);
+    }
+
+    /// The scalar dispatch of [`Self::matmul_transpose_b_into`]: untiled
+    /// row-pair dots when `rhs` is cache-resident, tiled otherwise.
+    fn matmul_transpose_b_into_scalar(&self, rhs: &Matrix, out: &mut Matrix) {
+        if rhs.data.len() * std::mem::size_of::<f32>() <= SMALL_GEMM_RHS_BYTES {
+            self.matmul_transpose_b_scalar_untiled(rhs, out);
+        } else {
+            self.matmul_transpose_b_scalar_tiled(rhs, out);
+        }
+    }
+
+    /// Untiled scalar arm of the transposed-B product.
+    fn matmul_transpose_b_scalar_untiled(&self, rhs: &Matrix, out: &mut Matrix) {
+        let n = rhs.rows;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..n {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Tiled scalar arm of the transposed-B product — same per-element dot
+    /// as the untiled arm, reordered across elements only.
+    fn matmul_transpose_b_scalar_tiled(&self, rhs: &Matrix, out: &mut Matrix) {
         let n = rhs.rows;
         for ii in (0..self.rows).step_by(MATMUL_TILE) {
             let i_end = (ii + MATMUL_TILE).min(self.rows);
@@ -451,9 +592,12 @@ impl Matrix {
 
     /// [`Self::matmul_transpose_a`] into a caller-owned output buffer.
     ///
-    /// The reduction runs over `self` rows in ascending order (dense inner
-    /// loops, no zero-skip branch — ViT activations are dense, and the
-    /// branch mispredicts more than it saves).
+    /// On AVX2+FMA machines this packs `rhs` and runs the same fused
+    /// packed kernel as [`Self::matmul_into`] with a column-strided view
+    /// of `self` — the transpose is never materialized. The scalar
+    /// fallback runs the reduction over `self` rows in ascending order
+    /// (dense inner loops, untiled: the weight-gradient shapes this serves
+    /// keep `rhs` cache-resident), bit-identical to `transpose().matmul_naive(rhs)`.
     ///
     /// # Panics
     ///
@@ -472,6 +616,23 @@ impl Matrix {
             (self.cols, rhs.cols),
             "matmul_transpose_a_into output shape mismatch"
         );
+        #[cfg(target_arch = "x86_64")]
+        if f32_simd_available() {
+            let packed = PackedF32::pack(rhs);
+            let view = LhsView {
+                base: &self.data,
+                row_stride: 1,
+                k_stride: self.cols,
+            };
+            crate::microkernel::gemm_packed(view, self.cols, &packed, &mut out.data);
+            return;
+        }
+        self.matmul_transpose_a_into_scalar(rhs, out);
+    }
+
+    /// Scalar arm of the transposed-A product (k-major accumulation,
+    /// ascending `k` per element).
+    fn matmul_transpose_a_into_scalar(&self, rhs: &Matrix, out: &mut Matrix) {
         out.data.fill(0.0);
         for k in 0..self.rows {
             let a_row = self.row(k);
@@ -793,6 +954,24 @@ impl Default for Matrix {
     }
 }
 
+/// Worst elementwise deviation of `got` from `a.matmul_naive(b)`, as a
+/// fraction of the documented fused-rounding envelope
+/// `2k · ε · max(|A|·|B|, 1)` (see [`crate::microkernel`]); `<= 1.0`
+/// means every element is within tolerance. Test-only oracle for the
+/// SIMD arm; requires finite inputs.
+#[cfg(test)]
+pub(crate) fn max_fused_violation(got: &Matrix, a: &Matrix, b: &Matrix) -> f32 {
+    let want = a.matmul_naive(b);
+    let bound = a.map(f32::abs).matmul_naive(&b.map(f32::abs));
+    let k = a.cols() as f32;
+    got.as_slice()
+        .iter()
+        .zip(want.as_slice())
+        .zip(bound.as_slice())
+        .map(|((&g, &w), &bd)| (g - w).abs() / (2.0 * k * f32::EPSILON * bd.max(1.0)))
+        .fold(0.0, f32::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,7 +1012,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_is_bit_identical_to_naive() {
+    fn scalar_arms_are_bit_identical_to_naive() {
         let mut rng = Rng::new(42);
         // Sizes straddling the tile edge: smaller, equal, off-by-one, multi-tile.
         for &(m, k, n) in &[
@@ -846,26 +1025,173 @@ mod tests {
             let a = Matrix::randn(m, k, 1.0, &mut rng);
             let b = Matrix::randn(k, n, 1.0, &mut rng);
             let naive = a.matmul_naive(&b);
-            let blocked = a.matmul_blocked(&b);
-            assert_eq!(naive, blocked, "blocked differs from naive at {m}x{k}x{n}");
-            assert_eq!(a.matmul(&b), blocked);
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_scalar_untiled(&b, &mut out);
+            assert_eq!(naive, out, "untiled arm differs from naive at {m}x{k}x{n}");
+            a.matmul_into_scalar_tiled(&b, &mut out);
+            assert_eq!(naive, out, "tiled arm differs from naive at {m}x{k}x{n}");
+            a.matmul_into_scalar(&b, &mut out);
+            assert_eq!(naive, out, "scalar dispatch differs at {m}x{k}x{n}");
         }
     }
 
     #[test]
-    fn small_shape_dispatch_is_bit_identical_across_the_threshold() {
-        // Shapes straddling SMALL_GEMM_RHS_BYTES (16 KiB of rhs): the qkv
-        // slice (16 KiB, untiled path), the mlp expansion (32 KiB, tiled
-        // path) and one far above. Dispatch must never change results.
+    fn scalar_dispatch_is_bit_identical_across_the_threshold() {
+        // rhs footprints straddling SMALL_GEMM_RHS_BYTES (128 KiB):
+        // 256x126 f32 = 126 KiB takes the untiled arm, 256x130 = 130 KiB
+        // the tiled arm. Dispatch must never change results.
         let mut rng = Rng::new(77);
+        for &(m, k, n) in &[(8, 256, 126), (8, 256, 130)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let naive = a.matmul_naive(&b);
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_scalar(&b, &mut out);
+            assert_eq!(out, naive, "scalar dispatch changed results at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_matmul_tracks_naive_at_vit_shapes() {
+        // The benched ViT shapes: qkv slice, mlp expansion, square, batched.
+        // The SIMD arm fuses multiply-adds, so it is pinned to naive within
+        // the documented envelope; without SIMD the dispatch is bit-identical.
+        let mut rng = Rng::new(78);
         for &(m, k, n) in &[(17, 64, 64), (17, 64, 128), (96, 96, 96), (544, 64, 64)] {
             let a = Matrix::randn(m, k, 1.0, &mut rng);
             let b = Matrix::randn(k, n, 1.0, &mut rng);
-            assert_eq!(
-                a.matmul(&b),
-                a.matmul_naive(&b),
-                "dispatch changed results at {m}x{k}x{n}"
-            );
+            let got = a.matmul(&b);
+            if f32_simd_available() {
+                let v = max_fused_violation(&got, &a, &b);
+                assert!(v <= 1.0, "SIMD arm out of tolerance at {m}x{k}x{n}: {v}");
+            } else {
+                assert_eq!(got, a.matmul_naive(&b), "dispatch changed results");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_matmul_is_bit_identical_to_matmul() {
+        // Packing is the only work hoisted out: the prepacked entry point
+        // must reproduce matmul() exactly on every machine, including into
+        // a dirty output buffer.
+        let mut rng = Rng::new(79);
+        for &(m, k, n) in &[(1, 1, 1), (7, 13, 17), (17, 64, 64), (33, 31, 40)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let packed = PackedF32::pack(&b);
+            let want = a.matmul(&b);
+            assert_eq!(a.matmul_prepacked(&packed), want, "{m}x{k}x{n}");
+            let mut out = Matrix::filled(m, n, f32::NAN);
+            a.matmul_prepacked_into(&packed, &mut out);
+            assert_eq!(out, want, "dirty-buffer prepacked at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_scalar_arms_are_bit_identical_to_naive() {
+        let mut rng = Rng::new(80);
+        // Attention-score shape (17x16 * (17x16)^T) plus tile-straddling.
+        for &(m, k, n) in &[(17, 16, 17), (40, 33, 37), (5, 70, 64)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let bt = Matrix::randn(n, k, 1.0, &mut rng);
+            let naive = a.matmul_naive(&bt.transpose());
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_transpose_b_scalar_untiled(&bt, &mut out);
+            assert_eq!(out, naive, "tb untiled arm differs at {m}x{k}x{n}");
+            a.matmul_transpose_b_scalar_tiled(&bt, &mut out);
+            assert_eq!(out, naive, "tb tiled arm differs at {m}x{k}x{n}");
+            a.matmul_transpose_b_into_scalar(&bt, &mut out);
+            assert_eq!(out, naive, "tb scalar dispatch differs at {m}x{k}x{n}");
+
+            // transpose_a: the k-major scalar arm accumulates each element
+            // in the same ascending-k order as naive on the transpose.
+            let c = Matrix::randn(m, n, 1.0, &mut rng);
+            let naive_ta = a.transpose().matmul_naive(&c);
+            let mut out_ta = Matrix::zeros(k, n);
+            a.matmul_transpose_a_into_scalar(&c, &mut out_ta);
+            assert_eq!(out_ta, naive_ta, "ta scalar arm differs at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_transpose_kernels_track_naive() {
+        let mut rng = Rng::new(81);
+        for &(m, k, n) in &[(17, 16, 17), (40, 33, 37)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let bt = Matrix::randn(n, k, 1.0, &mut rng);
+            let got = a.matmul_transpose_b(&bt);
+            let c = Matrix::randn(m, n, 1.0, &mut rng);
+            let got_ta = a.matmul_transpose_a(&c);
+            if f32_simd_available() {
+                let v = max_fused_violation(&got, &a, &bt.transpose());
+                assert!(v <= 1.0, "tb SIMD out of tolerance at {m}x{k}x{n}: {v}");
+                let v = max_fused_violation(&got_ta, &a.transpose(), &c);
+                assert!(v <= 1.0, "ta SIMD out of tolerance at {m}x{k}x{n}: {v}");
+            } else {
+                assert_eq!(got, a.matmul_naive(&bt.transpose()));
+                assert_eq!(got_ta, a.transpose().matmul_naive(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate_on_every_arm() {
+        // Fault-visibility contract: a poisoned lhs element must poison its
+        // whole output row, a poisoned rhs element its whole output column,
+        // and nothing else — on the dispatched path and both scalar arms.
+        // (±inf may legitimately become NaN through inf−inf, so the
+        // assertion is non-finiteness, not exact value.)
+        let (m, k, n) = (9, 11, 18);
+        for &bad in &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut rng = Rng::new(82);
+            let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+            a[(3, 5)] = bad;
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let check_row = |out: &Matrix, label: &str| {
+                for i in 0..m {
+                    for j in 0..n {
+                        assert_eq!(
+                            out[(i, j)].is_finite(),
+                            i != 3,
+                            "{label}: ({i},{j}) with bad={bad}"
+                        );
+                    }
+                }
+            };
+            check_row(&a.matmul(&b), "dispatched");
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_scalar_untiled(&b, &mut out);
+            check_row(&out, "untiled");
+            a.matmul_into_scalar_tiled(&b, &mut out);
+            check_row(&out, "tiled");
+            check_row(&a.matmul_prepacked(&PackedF32::pack(&b)), "prepacked");
+
+            let a2 = Matrix::randn(m, k, 1.0, &mut rng);
+            let mut b2 = Matrix::randn(k, n, 1.0, &mut rng);
+            b2[(4, 7)] = bad;
+            let check_col = |out: &Matrix, label: &str| {
+                for i in 0..m {
+                    for j in 0..n {
+                        assert_eq!(
+                            out[(i, j)].is_finite(),
+                            j != 7,
+                            "{label}: ({i},{j}) with bad={bad}"
+                        );
+                    }
+                }
+            };
+            check_col(&a2.matmul(&b2), "dispatched");
+            a2.matmul_into_scalar_untiled(&b2, &mut out);
+            check_col(&out, "untiled");
+            a2.matmul_into_scalar_tiled(&b2, &mut out);
+            check_col(&out, "tiled");
+            check_col(&a2.matmul_prepacked(&PackedF32::pack(&b2)), "prepacked");
+            // transposed-B: same poisoned operand through the dot kernels.
+            check_col(&a2.matmul_transpose_b(&b2.transpose()), "dispatched tb");
+            let mut out_tb = Matrix::zeros(m, n);
+            a2.matmul_transpose_b_into_scalar(&b2.transpose(), &mut out_tb);
+            check_col(&out_tb, "scalar tb");
         }
     }
 
@@ -876,7 +1202,7 @@ mod tests {
         let b = Matrix::randn(5, 6, 1.0, &mut rng);
         let mut out = Matrix::filled(7, 6, f32::NAN);
         a.matmul_into(&b, &mut out);
-        assert_eq!(out, a.matmul_naive(&b));
+        assert_eq!(out, a.matmul(&b));
 
         let mut out_tb = Matrix::filled(7, 7, -3.0);
         a.matmul_transpose_b_into(&a, &mut out_tb);
@@ -1040,16 +1366,62 @@ mod prop_tests {
         }
 
         #[test]
-        fn prop_blocked_matmul_matches_naive(
-            a in arb_matrix(MATMUL_TILE + 3, MATMUL_TILE + 1),
-            b in arb_matrix(MATMUL_TILE + 1, 7),
+        fn prop_dispatched_matmul_matches_naive_at_adversarial_shapes(
+            // Free dims up to 49: straddles the 8-lane width, every MR row
+            // block split (6/4/2/1), the 16-column panel tail, and
+            // MATMUL_TILE — with K deliberately off every multiple.
+            m in 1usize..50,
+            k in 1usize..50,
+            n in 1usize..50,
+            seed in 0u64..1u64 << 32,
         ) {
-            // Determinism contract: blocked and naive kernels share one
-            // fixed accumulation order, so they agree exactly — and a
-            // fortiori within the 1e-5 contract tolerance.
-            let blocked = a.matmul_blocked(&b);
-            prop_assert_eq!(&blocked, &a.matmul_naive(&b));
-            prop_assert!(blocked.approx_eq(&a.matmul_naive(&b), 1e-5));
+            let mut rng = Rng::new(seed);
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let naive = a.matmul_naive(&b);
+            // Both scalar arms are exact at every shape, regardless of
+            // which one the size dispatch would pick.
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_scalar_untiled(&b, &mut out);
+            prop_assert_eq!(&out, &naive);
+            a.matmul_into_scalar_tiled(&b, &mut out);
+            prop_assert_eq!(&out, &naive);
+            // The dispatched kernel: exact without SIMD, pinned to the
+            // documented fused-rounding envelope with it.
+            let got = a.matmul(&b);
+            if f32_simd_available() {
+                let v = max_fused_violation(&got, &a, &b);
+                prop_assert!(v <= 1.0, "SIMD arm out of tolerance at {}x{}x{}: {}", m, k, n, v);
+            } else {
+                prop_assert_eq!(&got, &naive);
+            }
+            // Prepacking never changes results.
+            prop_assert_eq!(&a.matmul_prepacked(&PackedF32::pack(&b)), &got);
+        }
+
+        #[test]
+        fn prop_dispatched_transpose_b_matches_naive_at_adversarial_shapes(
+            m in 1usize..40,
+            k in 1usize..40,
+            n in 1usize..40,
+            seed in 0u64..1u64 << 32,
+        ) {
+            let mut rng = Rng::new(seed);
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let bt = Matrix::randn(n, k, 1.0, &mut rng);
+            let naive = a.matmul_naive(&bt.transpose());
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_transpose_b_scalar_untiled(&bt, &mut out);
+            prop_assert_eq!(&out, &naive);
+            a.matmul_transpose_b_scalar_tiled(&bt, &mut out);
+            prop_assert_eq!(&out, &naive);
+            let got = a.matmul_transpose_b(&bt);
+            if f32_simd_available() {
+                let v = max_fused_violation(&got, &a, &bt.transpose());
+                prop_assert!(v <= 1.0, "tb SIMD out of tolerance at {}x{}x{}: {}", m, k, n, v);
+            } else {
+                prop_assert_eq!(&got, &naive);
+            }
         }
 
         #[test]
