@@ -1,0 +1,65 @@
+//! Checkpoint cold start for a 4-level effort ladder: `load_prepared`
+//! (parse once, build the frozen view, per-level Arc re-views) against
+//! the classic load -> clone -> mask -> prepare-per-level path, each
+//! through first inference at every level (see
+//! `experiments::ladder_memory` for the self-checking report variant
+//! that also accounts resident weight bytes into `BENCH_ladder.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pivot_bench::experiments::LADDER_DEPTH;
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::{PreparedModel, VisionTransformer, VitConfig};
+
+/// Attention-module counts of the benchmarked 4-level ladder.
+const EFFORTS: [usize; 4] = [2, 4, 6, 8];
+
+fn bench_cold_start(c: &mut Criterion) {
+    let cfg = VitConfig {
+        name: "ladder-cold".to_string(),
+        depth: LADDER_DEPTH,
+        ..VitConfig::test_small()
+    };
+    let backbone = VisionTransformer::new(&cfg, &mut Rng::new(42));
+    let ckpt = std::env::temp_dir().join(format!("pivot_bench_ladder_{}.bin", std::process::id()));
+    backbone.save(&ckpt).expect("save benchmark checkpoint");
+    let image = Matrix::from_fn(cfg.image_size, cfg.image_size, |r, c| {
+        ((r * 31 + c * 7) as f32) / 331.0 - 0.5
+    });
+
+    let mut group = c.benchmark_group("ladder_cold_start");
+    group.sample_size(10);
+    group.bench_function("load_prepared + 4 re-views (f32)", |b| {
+        b.iter(|| {
+            let base = VisionTransformer::load_prepared(black_box(&ckpt)).expect("load_prepared");
+            EFFORTS
+                .iter()
+                .map(|&e| {
+                    let mask: Vec<usize> = (0..e).collect();
+                    base.with_active_attentions(&mask).infer(black_box(&image))
+                })
+                .collect::<Vec<Matrix>>()
+        })
+    });
+    group.bench_function("load + 4x clone/mask/prepare (f32)", |b| {
+        b.iter(|| {
+            let model = VisionTransformer::load(black_box(&ckpt)).expect("load");
+            EFFORTS
+                .iter()
+                .map(|&e| {
+                    let mut m = model.clone();
+                    m.set_active_attentions(&(0..e).collect::<Vec<usize>>());
+                    m.prepare()
+                })
+                .collect::<Vec<PreparedModel>>()
+                .iter()
+                .map(|v| v.infer(black_box(&image)))
+                .collect::<Vec<Matrix>>()
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&ckpt).ok();
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

@@ -51,7 +51,10 @@ pub struct Int8Speedup {
     /// relative to the sample's logit magnitude (floored at 0.5 so
     /// near-zero logits don't blow it up).
     pub max_rel_diff: f32,
-    /// `reference.weight_bytes() / int8.weight_bytes()` — must be 4.
+    /// f32 unique weight bytes over int8 unique weight bytes — must be 4.
+    /// Unique (Arc-deduped) bytes, not per-view sums, so the claim stays
+    /// about resident memory even when views share layers through a
+    /// [`pivot_vit::PreparedStore`].
     pub weight_ratio: f64,
     /// Cascade predictions agreeing with the fake-quant cascade on the
     /// fixed synthetic eval set.
@@ -245,7 +248,8 @@ pub fn int8_speedup(n_samples: usize) -> Int8Speedup {
         .iter()
         .zip(&fq_contract)
         .fold(0f32, |m, (q, r)| m.max(rel_diff(q, r)));
-    let weight_ratio = reference.weight_bytes() as f64 / prepared.weight_bytes() as f64;
+    let weight_ratio =
+        reference.unique_weight_bytes() as f64 / prepared.unique_weight_bytes() as f64;
 
     // Cascade argmax identity over the full synthetic eval set — the
     // same distribution the pipeline trains on (the stripes above pin the

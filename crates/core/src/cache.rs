@@ -26,7 +26,7 @@ use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropies;
 use pivot_tensor::Matrix;
-use pivot_vit::{PreparedModel, VisionTransformer};
+use pivot_vit::{PreparedModel, PreparedStore, VisionTransformer};
 
 /// One sample that produced non-finite values during a guarded evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +124,31 @@ impl CascadeCache {
     /// tolerance.
     pub fn build_int8(low: &VisionTransformer, samples: &[Sample], par: Parallelism) -> Self {
         Self::build_prepared(&low.prepare_int8(), samples, par)
+    }
+
+    /// [`CascadeCache::build`] with the low effort prepared through a
+    /// shared content-addressed `store`: layers already materialized by
+    /// another participant (an earlier cache, a prepared high effort) are
+    /// Arc-shared instead of re-packed. Bit-identical to
+    /// [`CascadeCache::build`].
+    pub fn build_in(
+        low: &VisionTransformer,
+        samples: &[Sample],
+        par: Parallelism,
+        store: &PreparedStore,
+    ) -> Self {
+        Self::build_prepared(&low.prepare_in(store), samples, par)
+    }
+
+    /// [`CascadeCache::build_int8`] through a shared content-addressed
+    /// `store` (see [`CascadeCache::build_in`]).
+    pub fn build_int8_in(
+        low: &VisionTransformer,
+        samples: &[Sample],
+        par: Parallelism,
+        store: &PreparedStore,
+    ) -> Self {
+        Self::build_prepared(&low.prepare_int8_in(store), samples, par)
     }
 
     /// [`CascadeCache::build`] against an already-prepared inference view.

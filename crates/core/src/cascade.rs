@@ -6,7 +6,7 @@ use crate::parallel::{par_map, Parallelism};
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
-use pivot_vit::{PreparedModel, VisionTransformer};
+use pivot_vit::{PreparedModel, PreparedStore, StoreStats, VisionTransformer};
 
 /// The entropy gate of Fig. 2a: `true` when a sample with normalized
 /// entropy `entropy` stays at the low effort under threshold `threshold`.
@@ -148,17 +148,23 @@ pub struct MultiEffortVit {
     high_prepared: PreparedModel,
     threshold: f32,
     parallelism: Parallelism,
+    share_stats: StoreStats,
 }
 
 impl MultiEffortVit {
     /// Creates a cascade from a low- and a high-effort model and an entropy
     /// threshold `Th`.
     ///
-    /// Both efforts are [prepared](VisionTransformer::prepare) here, once:
-    /// every quantizer is fitted and every effective weight materialized at
-    /// construction, and all inference — [`Self::infer`] and every batch
-    /// evaluation — runs against the frozen views. `MultiEffortVit` exposes
-    /// no weight-mutating API, so the views cannot go stale.
+    /// Both efforts are [prepared](VisionTransformer::prepare) here, once,
+    /// through a shared content-addressed [`PreparedStore`]: every layer
+    /// whose weights and quantization parameters are identical between the
+    /// two efforts (all of them, when both derive from one backbone via
+    /// attention skipping) is materialized once and Arc-shared between the
+    /// frozen views (see [`Self::unique_weight_bytes`]). All inference —
+    /// [`Self::infer`] and every batch evaluation — runs against those
+    /// views. `MultiEffortVit` exposes no weight-mutating API, so the
+    /// shared views cannot go stale, and the deduplicated cascade is
+    /// bit-identical to preparing each effort independently.
     ///
     /// # Panics
     ///
@@ -195,11 +201,13 @@ impl MultiEffortVit {
             high.config().num_classes,
             "efforts must share the class space"
         );
+        let store = PreparedStore::new();
         let (low_prepared, high_prepared) = if int8 {
-            (low.prepare_int8(), high.prepare_int8())
+            (low.prepare_int8_in(&store), high.prepare_int8_in(&store))
         } else {
-            (low.prepare(), high.prepare())
+            (low.prepare_in(&store), high.prepare_in(&store))
         };
+        let share_stats = store.stats();
         Self {
             low,
             high,
@@ -207,7 +215,29 @@ impl MultiEffortVit {
             high_prepared,
             threshold,
             parallelism: Parallelism::Auto,
+            share_stats,
         }
+    }
+
+    /// Hit/miss and byte accounting of the content-addressed weight store
+    /// both efforts were prepared through. Same-backbone efforts share
+    /// every layer: the low effort misses, the high effort hits.
+    pub fn share_stats(&self) -> StoreStats {
+        self.share_stats
+    }
+
+    /// Total prepared weight bytes of both efforts as if each held an
+    /// independent copy (the pre-sharing footprint).
+    pub fn weight_bytes(&self) -> usize {
+        self.low_prepared.weight_bytes() + self.high_prepared.weight_bytes()
+    }
+
+    /// Prepared weight bytes actually resident, counting every layer
+    /// Arc-shared between the two efforts once.
+    pub fn unique_weight_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.low_prepared.unique_weight_bytes_into(&mut seen)
+            + self.high_prepared.unique_weight_bytes_into(&mut seen)
     }
 
     /// Whether the cascade runs on the packed int8 kernel (built by
@@ -679,6 +709,54 @@ mod tests {
     fn invalid_threshold_panics() {
         let (low, high) = models(10);
         let _ = MultiEffortVit::new(low, high, 1.5);
+    }
+
+    #[test]
+    fn same_backbone_efforts_share_one_weight_copy() {
+        let cfg = VitConfig::test_small();
+        let base = VisionTransformer::new(&cfg, &mut Rng::new(60));
+        let mut low = base.clone();
+        low.set_active_attentions(&[0]);
+        let mut high = base.clone();
+        high.set_active_attentions(&[0, 1, 2, 3]);
+        let cascade = MultiEffortVit::new(low.clone(), high.clone(), 0.5);
+
+        // Attention skipping only flags modules inactive — the weights are
+        // identical — so the high effort hits the store on every layer.
+        let single = cascade.low_prepared().weight_bytes();
+        assert_eq!(cascade.weight_bytes(), 2 * single);
+        assert_eq!(cascade.unique_weight_bytes(), single);
+        let stats = cascade.share_stats();
+        assert_eq!(stats.hits, stats.misses);
+        assert_eq!(stats.unique_bytes, single);
+
+        // Sharing must not change inference: compare against efforts
+        // prepared independently of any store.
+        let set = samples(10, 61);
+        let (ind_low, ind_high) = (low.prepare(), high.prepare());
+        for s in &set {
+            let shared_out = cascade.infer(&s.image);
+            let e_low = normalized_entropy(&ind_low.infer(&s.image));
+            assert_eq!(shared_out.entropy_low.to_bits(), e_low.to_bits());
+            let expected = if shared_out.used_high {
+                ind_high.infer(&s.image)
+            } else {
+                ind_low.infer(&s.image)
+            };
+            for (a, b) in shared_out.logits.as_slice().iter().zip(expected.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_backbones_share_nothing() {
+        // `models()` draws low and high from different seeds: no layer can
+        // dedupe, and the accounting must say so.
+        let (low, high) = models(62);
+        let cascade = MultiEffortVit::new(low, high, 0.5);
+        assert_eq!(cascade.share_stats().hits, 0);
+        assert_eq!(cascade.unique_weight_bytes(), cascade.weight_bytes());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::parallel::Parallelism;
 use pivot_data::Sample;
 use pivot_nn::normalized_entropy;
 use pivot_tensor::Matrix;
-use pivot_vit::{PreparedModel, VisionTransformer};
+use pivot_vit::{PreparedModel, PreparedStore, StoreStats, VisionTransformer};
 
 /// Outcome of one multi-level inference.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,17 +101,23 @@ pub struct EffortLadder {
     levels: Vec<VisionTransformer>,
     prepared: Vec<PreparedModel>,
     thresholds: Vec<f32>,
+    share_stats: StoreStats,
 }
 
 impl EffortLadder {
     /// Creates a ladder from models ordered low effort -> high effort and
     /// `levels.len() - 1` thresholds.
     ///
-    /// Every level is [prepared](VisionTransformer::prepare) here, once:
-    /// quantizers fitted and effective weights materialized at
-    /// construction, with all inference running against the frozen views.
-    /// The ladder exposes no weight-mutating API, so the views cannot go
-    /// stale.
+    /// Every level is [prepared](VisionTransformer::prepare) here, once,
+    /// through a shared content-addressed [`PreparedStore`]: layers whose
+    /// weights and quantization parameters are identical across levels
+    /// (in PIVOT's cascades, *every* layer — the levels differ only in
+    /// their attention-skip mask) are materialized once and Arc-shared, so
+    /// an `N`-level ladder holds ~1x the backbone weights instead of `N`x
+    /// (see [`Self::unique_weight_bytes`] and [`Self::share_stats`]). The
+    /// ladder exposes no weight-mutating API, so the shared views cannot
+    /// go stale, and deduplicated inference is bit-identical to preparing
+    /// each level independently.
     ///
     /// # Panics
     ///
@@ -145,15 +151,47 @@ impl EffortLadder {
             assert!(t >= prev, "thresholds must be non-decreasing");
             prev = t;
         }
+        let store = PreparedStore::new();
         let prepared = levels
             .iter()
-            .map(|m| if int8 { m.prepare_int8() } else { m.prepare() })
+            .map(|m| {
+                if int8 {
+                    m.prepare_int8_in(&store)
+                } else {
+                    m.prepare_in(&store)
+                }
+            })
             .collect();
+        let share_stats = store.stats();
         Self {
             levels,
             prepared,
             thresholds,
+            share_stats,
         }
+    }
+
+    /// Hit/miss and byte accounting of the content-addressed weight store
+    /// the levels were prepared through. Levels derived from one backbone
+    /// share every layer: the first level misses, every later level hits.
+    pub fn share_stats(&self) -> StoreStats {
+        self.share_stats
+    }
+
+    /// Total prepared weight bytes summed per level, as if each level held
+    /// an independent copy (the pre-sharing footprint).
+    pub fn weight_bytes(&self) -> usize {
+        self.prepared.iter().map(PreparedModel::weight_bytes).sum()
+    }
+
+    /// Prepared weight bytes actually resident, counting every Arc-shared
+    /// layer once across all levels.
+    pub fn unique_weight_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.prepared
+            .iter()
+            .map(|m| m.unique_weight_bytes_into(&mut seen))
+            .sum()
     }
 
     /// Whether every level runs on the packed int8 kernel (built by
@@ -734,6 +772,53 @@ mod tests {
     }
 
     #[test]
+    fn same_backbone_levels_share_one_weight_copy() {
+        // All three levels derive from one backbone via attention skipping,
+        // so every layer deduplicates: the ladder holds 1x the backbone
+        // weights instead of 3x, in both kernels.
+        for (ladder, label) in [
+            (EffortLadder::new(models(30), vec![0.4, 0.7]), "f32"),
+            (EffortLadder::new_int8(models(30), vec![0.4, 0.7]), "int8"),
+        ] {
+            let single = ladder.prepared_levels()[0].weight_bytes();
+            assert_eq!(ladder.weight_bytes(), 3 * single, "{label}");
+            assert_eq!(ladder.unique_weight_bytes(), single, "{label}");
+            let stats = ladder.share_stats();
+            assert_eq!(stats.hits, 2 * stats.misses, "{label}");
+            assert_eq!(stats.unique_bytes, single, "{label}");
+            assert_eq!(stats.hit_bytes, 2 * single, "{label}");
+            assert_eq!(stats.total_bytes(), ladder.weight_bytes(), "{label}");
+        }
+    }
+
+    #[test]
+    fn faulted_level_stops_sharing_but_reports_identically() {
+        use crate::faults::{FaultInjector, FaultKind};
+        let mut ms = models(31);
+        FaultInjector::new(32).inject_params(&mut ms[1], FaultKind::StuckNan, 10_000);
+        let ladder = EffortLadder::new(ms.clone(), vec![0.0, 1.0]);
+        // The mutated middle level no longer hashes to the backbone's
+        // layers, so the resident footprint exceeds one backbone copy...
+        let single = ladder.prepared_levels()[0].weight_bytes();
+        assert!(ladder.unique_weight_bytes() > single);
+        // ...while the untouched levels 0 and 2 still share everything.
+        assert!(ladder.share_stats().hits > 0);
+        assert!(ladder.unique_weight_bytes() < ladder.weight_bytes());
+
+        // Fault accounting through the shared store is identical to
+        // independently prepared levels.
+        let independent: Vec<PreparedModel> = ms.iter().map(|m| m.prepare()).collect();
+        let set = samples(33);
+        let (shared_stats, shared_report) = ladder.evaluate_guarded(&set, Parallelism::Off);
+        let mut cache = LadderCache::new(ms.len(), set.len());
+        let (ind_stats, ind_report) =
+            cache.evaluate_guarded(&independent, &set, ladder.thresholds(), Parallelism::Off);
+        assert!(!shared_report.is_empty(), "fault must surface");
+        assert_eq!(shared_stats, ind_stats);
+        assert_eq!(shared_report, ind_report);
+    }
+
+    #[test]
     fn int8_ladder_classifies_every_input_once() {
         let reference = EffortLadder::new(models(21), vec![0.3, 0.6]);
         let ladder = EffortLadder::new_int8(models(21), vec![0.3, 0.6]);
@@ -757,5 +842,106 @@ mod tests {
             "routing drift {drift}/{}",
             set.len()
         );
+    }
+
+    mod sharing_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The deduplication contract of the content-addressed store:
+            /// a ladder whose levels Arc-share one backbone copy is
+            /// bit-identical — logits, entropies, predictions, statistics
+            /// and degradation report — to the same levels each prepared
+            /// independently, across kernels, skip patterns, thresholds,
+            /// ragged batch sizes and parallelism.
+            #[test]
+            fn shared_store_ladder_is_bit_identical_to_independent_levels(
+                seed in 0u64..1_000,
+                int8_sel in 0usize..2,
+                efforts_sel in 0usize..6,
+                raw_ths in collection::vec(0.0f32..=1.0, 3usize),
+                n_pairs in 1usize..8,
+                par_sel in 0usize..3,
+            ) {
+                let int8 = int8_sel == 1;
+                let efforts: &[usize] = [
+                    &[1usize, 2][..],
+                    &[1, 4],
+                    &[2, 3, 4],
+                    &[1, 2, 3, 4],
+                    &[1, 3],
+                    &[2, 4],
+                ][efforts_sel];
+                let par = [Parallelism::Off, Parallelism::Fixed(2), Parallelism::Fixed(5)]
+                    [par_sel];
+
+                let cfg = VitConfig::test_small();
+                let base = VisionTransformer::new(&cfg, &mut Rng::new(seed));
+                let ms: Vec<VisionTransformer> = efforts
+                    .iter()
+                    .map(|&e| {
+                        let mut m = base.clone();
+                        m.set_active_attentions(&(0..e).collect::<Vec<_>>());
+                        m
+                    })
+                    .collect();
+                let mut ths: Vec<f32> = raw_ths[..ms.len() - 1].to_vec();
+                ths.sort_by(f32::total_cmp);
+
+                let ladder = if int8 {
+                    EffortLadder::new_int8(ms.clone(), ths.clone())
+                } else {
+                    EffortLadder::new(ms.clone(), ths.clone())
+                };
+                // Same backbone: every level past the first hits the store
+                // and the resident footprint stays below the naive sum.
+                prop_assert!(ladder.share_stats().hits > 0);
+                prop_assert!(ladder.unique_weight_bytes() < ladder.weight_bytes());
+                prop_assert_eq!(
+                    ladder.unique_weight_bytes(),
+                    ladder.prepared_levels()[0].weight_bytes()
+                );
+
+                let independent: Vec<PreparedModel> = ms
+                    .iter()
+                    .map(|m| if int8 { m.prepare_int8() } else { m.prepare() })
+                    .collect();
+                let set = Dataset::generate_difficulty_stripes(
+                    &DatasetConfig::small(),
+                    &[0.2, 0.8],
+                    n_pairs,
+                    seed + 1,
+                );
+
+                let mut shared_cache = ladder.cache(set.len());
+                let (shared_stats, shared_report) = shared_cache.evaluate_guarded(
+                    ladder.prepared_levels(),
+                    &set,
+                    ladder.thresholds(),
+                    par,
+                );
+                let mut ind_cache = LadderCache::new(ms.len(), set.len());
+                let (ind_stats, ind_report) =
+                    ind_cache.evaluate_guarded(&independent, &set, &ths, par);
+
+                prop_assert_eq!(shared_stats, ind_stats);
+                prop_assert_eq!(shared_report, ind_report);
+                for level in 0..ms.len() {
+                    for i in 0..set.len() {
+                        prop_assert_eq!(
+                            shared_cache.logits(level, i),
+                            ind_cache.logits(level, i)
+                        );
+                        prop_assert_eq!(
+                            shared_cache.entropy(level, i).map(f32::to_bits),
+                            ind_cache.entropy(level, i).map(f32::to_bits)
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@ use crate::parallel::Parallelism;
 use crate::{CascadeStats, PathConfig};
 use pivot_data::Sample;
 use pivot_sim::{combine_efforts, CombinedPerf, Simulator, VitGeometry};
-use pivot_vit::{PreparedModel, VisionTransformer};
+use pivot_vit::{PreparedModel, PreparedStore, StoreStats, VisionTransformer};
 use std::collections::HashMap;
 
 /// One effort with its Phase-1 optimal path and fine-tuned model.
@@ -78,6 +78,11 @@ pub struct Phase2Search<'a> {
     calibration: &'a [Sample],
     parallelism: Parallelism,
     int8: bool,
+    /// One content-addressed store for the whole search: the distinct
+    /// efforts all derive from one backbone, so every low-effort cache and
+    /// every prepared high effort across all probed pairs Arc-shares one
+    /// set of materialized layers.
+    store: PreparedStore,
 }
 
 impl<'a> Phase2Search<'a> {
@@ -118,7 +123,14 @@ impl<'a> Phase2Search<'a> {
             calibration,
             parallelism: Parallelism::Auto,
             int8: false,
+            store: PreparedStore::new(),
         }
+    }
+
+    /// Hit/miss and byte accounting of the content-addressed store all of
+    /// this searcher's prepared views were deduplicated through.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// The parallelism used for calibration inference (default
@@ -150,17 +162,17 @@ impl<'a> Phase2Search<'a> {
 
     fn prepare_model(&self, model: &VisionTransformer) -> PreparedModel {
         if self.int8 {
-            model.prepare_int8()
+            model.prepare_int8_in(&self.store)
         } else {
-            model.prepare()
+            model.prepare_in(&self.store)
         }
     }
 
     fn build_cache(&self, model: &VisionTransformer) -> CascadeCache {
         if self.int8 {
-            CascadeCache::build_int8(model, self.calibration, self.parallelism)
+            CascadeCache::build_int8_in(model, self.calibration, self.parallelism, &self.store)
         } else {
-            CascadeCache::build(model, self.calibration, self.parallelism)
+            CascadeCache::build_in(model, self.calibration, self.parallelism, &self.store)
         }
     }
 
@@ -465,6 +477,32 @@ mod tests {
             assert_eq!(d.stats, c.stats);
             assert_eq!(d.threshold.to_bits(), c.threshold.to_bits());
         }
+    }
+
+    #[test]
+    fn search_shares_prepared_layers_across_pairs() {
+        let sim = Simulator::new(AcceleratorConfig::zcu102());
+        let geom = VitGeometry::deit_s();
+        // All efforts derive from one backbone, so every prepared view
+        // past the first (low caches and high efforts alike) hits the
+        // searcher's shared store.
+        let efforts = make_efforts(12, &[3, 6, 9, 12], 16);
+        let calib = calibration(17);
+        let search = Phase2Search::new(&sim, &geom, &efforts, &calib);
+        assert_eq!(search.store_stats().lookups(), 0);
+        // An infeasible constraint forces the search through every pair.
+        assert!(search
+            .run(&Phase2Config {
+                delay_constraint_ms: 1.0,
+                ..Default::default()
+            })
+            .is_none());
+        let stats = search.store_stats();
+        assert!(stats.hits > 0, "pairs must reuse prepared layers");
+        // Memoization prepares six distinct views (lows 3/6/9, highs
+        // 6/9/12), all resolving to one resident backbone copy.
+        assert_eq!(stats.total_bytes(), 6 * stats.unique_bytes);
+        assert_eq!(stats.hit_bytes, 5 * stats.unique_bytes);
     }
 
     #[test]

@@ -109,6 +109,30 @@ impl MultiHeadAttention {
         }
     }
 
+    /// Like [`MultiHeadAttention::prepare`], with each projection
+    /// deduplicated through `store` (see [`Linear::prepare_in`]).
+    pub fn prepare_in(&self, store: &crate::PreparedStore) -> crate::PreparedAttention {
+        crate::PreparedAttention {
+            wq: self.wq.prepare_in(store),
+            wk: self.wk.prepare_in(store),
+            wv: self.wv.prepare_in(store),
+            proj: self.proj.prepare_in(store),
+            heads: self.heads,
+        }
+    }
+
+    /// Like [`MultiHeadAttention::prepare_int8`], with each projection
+    /// deduplicated through `store` (see [`Linear::prepare_int8_in`]).
+    pub fn prepare_int8_in(&self, store: &crate::PreparedStore) -> crate::PreparedAttention {
+        crate::PreparedAttention {
+            wq: self.wq.prepare_int8_in(store),
+            wk: self.wk.prepare_int8_in(store),
+            wv: self.wv.prepare_int8_in(store),
+            proj: self.proj.prepare_int8_in(store),
+            heads: self.heads,
+        }
+    }
+
     /// Total quantization-saturated weights across all four projections
     /// (see [`Linear::weight_saturation`]).
     pub fn weight_saturation(&self) -> usize {

@@ -119,6 +119,32 @@ impl EncoderBlock {
         }
     }
 
+    /// Like [`EncoderBlock::prepare`], with every projection deduplicated
+    /// through `store` (see [`crate::Linear::prepare_in`]). Layer norms
+    /// are tiny (two rows) and cloned as before.
+    pub fn prepare_in(&self, store: &crate::PreparedStore) -> crate::PreparedEncoderBlock {
+        crate::PreparedEncoderBlock {
+            ln1: self.ln1.clone(),
+            attn: self.attn.prepare_in(store),
+            ln2: self.ln2.clone(),
+            mlp: self.mlp.prepare_in(store),
+            attention_active: self.attention_active,
+        }
+    }
+
+    /// Like [`EncoderBlock::prepare_int8`], with every projection
+    /// deduplicated through `store` (see
+    /// [`crate::Linear::prepare_int8_in`]).
+    pub fn prepare_int8_in(&self, store: &crate::PreparedStore) -> crate::PreparedEncoderBlock {
+        crate::PreparedEncoderBlock {
+            ln1: self.ln1.clone(),
+            attn: self.attn.prepare_int8_in(store),
+            ln2: self.ln2.clone(),
+            mlp: self.mlp.prepare_int8_in(store),
+            attention_active: self.attention_active,
+        }
+    }
+
     /// Inference-only forward, also returning the trace for CKA capture.
     pub fn infer_traced(&self, x: &Matrix) -> EncoderTrace {
         let after_attn = if self.attention_active {

@@ -28,6 +28,7 @@ mod norm;
 mod optim;
 mod param;
 mod prepared;
+mod store;
 
 pub use attention::MultiHeadAttention;
 pub use encoder::{EncoderBlock, EncoderTrace};
@@ -41,6 +42,7 @@ pub use norm::LayerNorm;
 pub use optim::{Adam, AdamConfig, Sgd};
 pub use param::Param;
 pub use prepared::{PreparedAttention, PreparedEncoderBlock, PreparedLinear, PreparedMlp};
+pub use store::{PreparedStore, StoreStats};
 
 /// A trainable component: forward caches, backward returns the input
 /// gradient and accumulates parameter gradients.

@@ -1,7 +1,7 @@
 //! Affine projection layer with optional 8-bit fake quantization.
 
 use crate::{Layer, Param};
-use pivot_tensor::{Matrix, PackedF32, QuantParams, Rng};
+use pivot_tensor::{Matrix, QuantParams, Rng};
 
 /// Whether a [`Linear`] layer fake-quantizes its weights in the forward pass.
 ///
@@ -108,26 +108,16 @@ impl Linear {
     /// work; it snapshots the current weights, so any later mutation of the
     /// layer requires re-preparing.
     pub fn prepare(&self) -> crate::PreparedLinear {
-        let (w_eff, params) = match self.quant {
-            QuantMode::None => (self.weight.value.clone(), None),
-            QuantMode::Int8 => {
-                let qp = QuantParams::fit_symmetric(&self.weight.value);
-                (qp.fake_quant_matrix(&self.weight.value), Some(qp))
-            }
-        };
-        let saturation = params
-            .map(|qp| qp.saturation_count(self.weight.value.as_slice()))
-            .unwrap_or(0);
-        // Pre-pack the weight for the SIMD microkernel when the runtime
-        // dispatch would use it, hoisting the per-call pack out of every
-        // forward. Bit-identical either way — same kernel.
-        let panels = pivot_tensor::f32_simd_available().then(|| PackedF32::pack(&w_eff));
-        crate::PreparedLinear {
-            kernel: crate::prepared::PreparedKernel::F32 { w_eff, panels },
-            bias: self.bias.value.clone(),
-            params,
-            saturation,
-        }
+        crate::PreparedLinear::from_weights(&self.weight.value, &self.bias.value, self.quant)
+    }
+
+    /// Like [`Linear::prepare`], but deduplicated through a
+    /// [`crate::PreparedStore`]: if a bit-identical layer (same weights,
+    /// bias and quant mode) was already prepared into `store`, its
+    /// `Arc`-shared view is returned instead of materializing another
+    /// copy. Bit-identical to [`Linear::prepare`] either way.
+    pub fn prepare_in(&self, store: &crate::PreparedStore) -> crate::PreparedLinear {
+        store.get_or_prepare(self.content_key(false), || self.prepare())
     }
 
     /// Freezes the layer into an immutable *int8* inference view: the
@@ -141,14 +131,19 @@ impl Linear {
     /// the fake-quant reference only by the per-row activation
     /// quantization, within the documented tolerance.
     pub fn prepare_int8(&self) -> crate::PreparedLinear {
-        let qp = QuantParams::fit_symmetric(&self.weight.value);
-        let packed = pivot_tensor::PackedInt8::pack_with(&self.weight.value, qp);
-        crate::PreparedLinear {
-            kernel: crate::prepared::PreparedKernel::Int8 { packed },
-            bias: self.bias.value.clone(),
-            params: Some(qp),
-            saturation: qp.saturation_count(self.weight.value.as_slice()),
-        }
+        crate::PreparedLinear::from_weights_int8(&self.weight.value, &self.bias.value)
+    }
+
+    /// Like [`Linear::prepare_int8`], but deduplicated through a
+    /// [`crate::PreparedStore`] (see [`Linear::prepare_in`]).
+    pub fn prepare_int8_in(&self, store: &crate::PreparedStore) -> crate::PreparedLinear {
+        store.get_or_prepare(self.content_key(true), || self.prepare_int8())
+    }
+
+    /// The [`crate::PreparedStore`] key for this layer's prepared view
+    /// (see [`crate::PreparedLinear::content_key`]).
+    fn content_key(&self, int8: bool) -> u128 {
+        crate::PreparedLinear::content_key(&self.weight.value, &self.bias.value, self.quant, int8)
     }
 
     /// Number of weights this layer's quantizer cannot represent in-range.

@@ -64,6 +64,24 @@ impl Mlp {
         }
     }
 
+    /// Like [`Mlp::prepare`], with each projection deduplicated through
+    /// `store` (see [`crate::Linear::prepare_in`]).
+    pub fn prepare_in(&self, store: &crate::PreparedStore) -> crate::PreparedMlp {
+        crate::PreparedMlp {
+            fc1: self.fc1.prepare_in(store),
+            fc2: self.fc2.prepare_in(store),
+        }
+    }
+
+    /// Like [`Mlp::prepare_int8`], with each projection deduplicated
+    /// through `store` (see [`crate::Linear::prepare_int8_in`]).
+    pub fn prepare_int8_in(&self, store: &crate::PreparedStore) -> crate::PreparedMlp {
+        crate::PreparedMlp {
+            fc1: self.fc1.prepare_int8_in(store),
+            fc2: self.fc2.prepare_int8_in(store),
+        }
+    }
+
     /// Sets the quantization mode on both projections.
     pub fn set_quant_mode(&mut self, quant: QuantMode) {
         self.fc1.set_quant_mode(quant);

@@ -42,6 +42,27 @@ impl LayerNorm {
         }
     }
 
+    /// Builds a layer-norm from explicit scale/shift rows — the checkpoint
+    /// cold-start path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` and `beta` are not `1 x dim` rows of equal width.
+    pub fn from_parts(gamma: Matrix, beta: Matrix) -> Self {
+        assert!(
+            gamma.rows() == 1 && beta.rows() == 1 && gamma.cols() == beta.cols(),
+            "gamma {:?} / beta {:?} must be equal-width rows",
+            gamma.shape(),
+            beta.shape()
+        );
+        Self {
+            gamma: Param::new(gamma),
+            beta: Param::new(beta),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
     /// Feature dimensionality.
     pub fn dim(&self) -> usize {
         self.gamma.value.cols()

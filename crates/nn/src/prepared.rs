@@ -14,15 +14,24 @@
 //! (training steps, `set_quant_mode`, fault injection into the latent
 //! weights) invalidates it and requires calling `prepare()` again.
 
-use crate::LayerNorm;
+use crate::{LayerNorm, QuantMode};
 use pivot_tensor::{
-    gelu, matmul_quantized, softmax_row, Matrix, PackedF32, PackedInt8, QuantParams,
+    gelu, matmul_quantized, softmax_row, ContentHasher, Matrix, PackedF32, PackedInt8, QuantParams,
 };
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The GEMM backend a [`PreparedLinear`] runs on: `F32` is the accuracy
 /// reference (full precision or fake-quantized effective weight), `Int8`
 /// is the deployment path storing packed `i8` panels (a quarter of the
 /// weight memory traffic) and driving the integer GEMM.
+///
+/// Both payloads sit behind `Arc` so a [`crate::PreparedStore`] can share
+/// one materialized weight across every effort level whose layer is
+/// bit-identical — the sharing is safe because no API mutates a prepared
+/// payload (there is no `&mut` accessor to the `Arc` contents anywhere in
+/// the crate), so a shared panel can never go stale under one consumer
+/// while another still reads it.
 #[derive(Debug, Clone)]
 pub(crate) enum PreparedKernel {
     /// `f32` effective weight — full precision, or fake-quantized in `Int8`
@@ -34,12 +43,12 @@ pub(crate) enum PreparedKernel {
     /// bit-identical to `matmul` against `w_eff` — the kernel is the same,
     /// packing is the only work hoisted out.
     F32 {
-        w_eff: Matrix,
-        panels: Option<PackedF32>,
+        w_eff: Arc<Matrix>,
+        panels: Option<Arc<PackedF32>>,
     },
     /// Packed `i8` weight panels on the integer GEMM
     /// ([`pivot_tensor::matmul_quantized`]).
-    Int8 { packed: PackedInt8 },
+    Int8 { packed: Arc<PackedInt8> },
 }
 
 /// Frozen inference view of a [`crate::Linear`] layer.
@@ -58,6 +67,101 @@ pub struct PreparedLinear {
 }
 
 impl PreparedLinear {
+    /// Builds the f32 (reference) view directly from a latent weight and
+    /// bias — the single implementation behind [`crate::Linear::prepare`]
+    /// and the checkpoint cold-start path, so the two can never diverge:
+    /// fits the quantizer once, materializes the effective weight once and
+    /// computes the saturation count from those same parameters.
+    pub fn from_weights(weight: &Matrix, bias: &Matrix, quant: QuantMode) -> Self {
+        let (w_eff, params) = match quant {
+            QuantMode::None => (weight.clone(), None),
+            QuantMode::Int8 => {
+                let qp = QuantParams::fit_symmetric(weight);
+                (qp.fake_quant_matrix(weight), Some(qp))
+            }
+        };
+        let saturation = params
+            .map(|qp| qp.saturation_count(weight.as_slice()))
+            .unwrap_or(0);
+        // Pre-pack the weight for the SIMD microkernel when the runtime
+        // dispatch would use it, hoisting the per-call pack out of every
+        // forward. Bit-identical either way — same kernel.
+        let panels = pivot_tensor::f32_simd_available().then(|| Arc::new(PackedF32::pack(&w_eff)));
+        Self {
+            kernel: PreparedKernel::F32 {
+                w_eff: Arc::new(w_eff),
+                panels,
+            },
+            bias: bias.clone(),
+            params,
+            saturation,
+        }
+    }
+
+    /// Builds the packed-int8 view directly from a latent weight and bias —
+    /// the single implementation behind [`crate::Linear::prepare_int8`] and
+    /// the checkpoint cold-start path. The weight grid is the same
+    /// symmetric fit the fake-quant reference uses, regardless of the
+    /// layer's training-time [`QuantMode`].
+    pub fn from_weights_int8(weight: &Matrix, bias: &Matrix) -> Self {
+        let qp = QuantParams::fit_symmetric(weight);
+        let packed = PackedInt8::pack_with(weight, qp);
+        Self {
+            kernel: PreparedKernel::Int8 {
+                packed: Arc::new(packed),
+            },
+            bias: bias.clone(),
+            params: Some(qp),
+            saturation: qp.saturation_count(weight.as_slice()),
+        }
+    }
+
+    /// Content key for the [`crate::PreparedStore`]: a 128-bit structural
+    /// hash of everything [`Self::from_weights`]/[`Self::from_weights_int8`]
+    /// consumes — kernel choice, quant mode, shape, weight bits and bias
+    /// bits. Preparation is a pure function of exactly these inputs, so
+    /// equal keys imply bit-identical prepared views (see
+    /// [`pivot_tensor::ContentHasher`] for the collision argument).
+    pub fn content_key(weight: &Matrix, bias: &Matrix, quant: QuantMode, int8: bool) -> u128 {
+        let mut h = ContentHasher::new();
+        h.write_u64(u64::from(int8));
+        // `from_weights_int8` ignores the training-time quant mode, so the
+        // int8 key normalizes it away — levels differing only in that flag
+        // still share one pack.
+        let quant_tag = if int8 {
+            1
+        } else {
+            match quant {
+                QuantMode::None => 0,
+                QuantMode::Int8 => 1,
+            }
+        };
+        h.write_u64(quant_tag);
+        h.write_usize(weight.rows());
+        h.write_usize(weight.cols());
+        h.write_f32_slice(weight.as_slice());
+        h.write_f32_slice(bias.as_slice());
+        h.finish()
+    }
+
+    /// Adds this view's weight allocation to `seen` (keyed by `Arc`
+    /// pointer identity) and returns its [`Self::weight_bytes`] if it was
+    /// not already counted, 0 if another view sharing the same storage
+    /// already was. Summing over all layers of a ladder yields the
+    /// *unique* resident weight bytes, the number the shared store
+    /// minimizes.
+    pub fn unique_weight_bytes_into(&self, seen: &mut HashSet<usize>) -> usize {
+        let ptr = match &self.kernel {
+            PreparedKernel::F32 { w_eff, .. } => Arc::as_ptr(w_eff) as usize,
+            PreparedKernel::Int8 { packed } => Arc::as_ptr(packed) as usize,
+        };
+        if seen.insert(ptr) {
+            self.weight_bytes()
+        } else {
+            0
+        }
+    }
+
     /// Inference forward `y = x W_eff + b`.
     ///
     /// On the `F32` kernel this is bit-identical to [`crate::Linear::infer`]
@@ -136,6 +240,43 @@ pub struct PreparedAttention {
 }
 
 impl PreparedAttention {
+    /// Assembles a view from four prepared projections — the checkpoint
+    /// cold-start path, which prepares projections straight from parsed
+    /// weights without an intermediate mutable block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projections are not all square `dim x dim` with the
+    /// same `dim`, or if `heads` does not divide `dim`.
+    pub fn from_parts(
+        wq: PreparedLinear,
+        wk: PreparedLinear,
+        wv: PreparedLinear,
+        proj: PreparedLinear,
+        heads: usize,
+    ) -> Self {
+        let dim = wq.in_dim();
+        for (name, p) in [("wq", &wq), ("wk", &wk), ("wv", &wv), ("proj", &proj)] {
+            assert!(
+                p.in_dim() == dim && p.out_dim() == dim,
+                "{name} is {}x{}, expected {dim}x{dim}",
+                p.in_dim(),
+                p.out_dim()
+            );
+        }
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "heads {heads} must divide dim {dim}"
+        );
+        Self {
+            wq,
+            wk,
+            wv,
+            proj,
+            heads,
+        }
+    }
+
     /// Number of attention heads.
     pub fn heads(&self) -> usize {
         self.heads
@@ -167,6 +308,15 @@ impl PreparedAttention {
             + self.wk.weight_bytes()
             + self.wv.weight_bytes()
             + self.proj.weight_bytes()
+    }
+
+    /// Weight bytes not already counted in `seen` (see
+    /// [`PreparedLinear::unique_weight_bytes_into`]).
+    pub fn unique_weight_bytes_into(&self, seen: &mut HashSet<usize>) -> usize {
+        self.wq.unique_weight_bytes_into(seen)
+            + self.wk.unique_weight_bytes_into(seen)
+            + self.wv.unique_weight_bytes_into(seen)
+            + self.proj.unique_weight_bytes_into(seen)
     }
 
     /// Per-sample inference; bit-identical to
@@ -256,6 +406,25 @@ pub struct PreparedMlp {
 }
 
 impl PreparedMlp {
+    /// Assembles a view from two prepared projections — the checkpoint
+    /// cold-start path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc2` does not map the hidden dimension back to `fc1`'s
+    /// input dimension.
+    pub fn from_parts(fc1: PreparedLinear, fc2: PreparedLinear) -> Self {
+        assert!(
+            fc1.out_dim() == fc2.in_dim() && fc2.out_dim() == fc1.in_dim(),
+            "mlp shapes {}x{} / {}x{} are not an expansion pair",
+            fc1.in_dim(),
+            fc1.out_dim(),
+            fc2.in_dim(),
+            fc2.out_dim()
+        );
+        Self { fc1, fc2 }
+    }
+
     /// Hidden dimensionality.
     pub fn hidden_dim(&self) -> usize {
         self.fc1.out_dim()
@@ -274,6 +443,12 @@ impl PreparedMlp {
     /// Weight bytes streamed per forward across both projections.
     pub fn weight_bytes(&self) -> usize {
         self.fc1.weight_bytes() + self.fc2.weight_bytes()
+    }
+
+    /// Weight bytes not already counted in `seen` (see
+    /// [`PreparedLinear::unique_weight_bytes_into`]).
+    pub fn unique_weight_bytes_into(&self, seen: &mut HashSet<usize>) -> usize {
+        self.fc1.unique_weight_bytes_into(seen) + self.fc2.unique_weight_bytes_into(seen)
     }
 
     /// Inference forward; bit-identical to [`crate::Mlp::infer`] on the
@@ -298,10 +473,50 @@ pub struct PreparedEncoderBlock {
 }
 
 impl PreparedEncoderBlock {
+    /// Assembles a view from prepared sub-blocks — the checkpoint
+    /// cold-start path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attention and MLP embedding dimensions disagree.
+    pub fn from_parts(
+        ln1: LayerNorm,
+        attn: PreparedAttention,
+        ln2: LayerNorm,
+        mlp: PreparedMlp,
+        attention_active: bool,
+    ) -> Self {
+        assert_eq!(
+            attn.dim(),
+            mlp.fc1.in_dim(),
+            "attention and mlp embedding dims disagree"
+        );
+        Self {
+            ln1,
+            attn,
+            ln2,
+            mlp,
+            attention_active,
+        }
+    }
+
     /// Whether the attention sub-block participates in the forward pass
     /// (captured when the view was prepared).
     pub fn attention_active(&self) -> bool {
         self.attention_active
+    }
+
+    /// A clone of this view under a different skip switch, sharing every
+    /// `Arc`'d weight payload with `self`. This is how an effort ladder
+    /// derives its levels from one prepared backbone: the weights are
+    /// prepared regardless of the switch (they stay resident in simulated
+    /// SRAM either way), so the re-view is bit-identical to preparing the
+    /// source block under that switch.
+    pub fn with_attention_active(&self, active: bool) -> Self {
+        Self {
+            attention_active: active,
+            ..self.clone()
+        }
     }
 
     /// Embedding dimensionality.
@@ -326,6 +541,12 @@ impl PreparedEncoderBlock {
     /// their weights stay in simulated SRAM).
     pub fn weight_bytes(&self) -> usize {
         self.attn.weight_bytes() + self.mlp.weight_bytes()
+    }
+
+    /// Weight bytes not already counted in `seen` (see
+    /// [`PreparedLinear::unique_weight_bytes_into`]).
+    pub fn unique_weight_bytes_into(&self, seen: &mut HashSet<usize>) -> usize {
+        self.attn.unique_weight_bytes_into(seen) + self.mlp.unique_weight_bytes_into(seen)
     }
 
     /// Traced per-sample inference; bit-identical to

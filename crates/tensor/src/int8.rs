@@ -115,6 +115,21 @@ impl PackedInt8 {
         self.data.len()
     }
 
+    /// 128-bit structural content hash: quantizer grid, shape, every
+    /// packed code, and the poisoned-column set. Two packs hash equal
+    /// exactly when the int8 GEMM through them is bit-identical — the
+    /// sharing contract the content-addressed store relies on.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = crate::ContentHasher::new();
+        h.write_f32(self.params.scale());
+        h.write_i32(self.params.zero_point());
+        h.write_usize(self.in_dim);
+        h.write_usize(self.out_dim);
+        h.write_i8_slice(&self.data);
+        h.write_usize_slice(&self.poisoned_cols);
+        h.finish()
+    }
+
     /// The contiguous panel of quantized weights for output column `j`.
     ///
     /// # Panics

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 mod batch;
+mod hash;
 mod health;
 mod int8;
 mod matrix;
@@ -33,6 +34,7 @@ mod quant;
 mod rng;
 
 pub use batch::Batch;
+pub use hash::ContentHasher;
 pub use health::NonFiniteError;
 pub use int8::{matmul_quantized, matmul_quantized_into, PackedInt8};
 pub use matrix::{Matrix, MATMUL_TILE};

@@ -189,6 +189,18 @@ impl Matrix {
         self.data
     }
 
+    /// 128-bit structural content hash: shape plus every element's bit
+    /// pattern. Equal hashes identify matrices whose use in inference is
+    /// bit-identical (see [`crate::ContentHasher`] for the collision
+    /// argument); `-0.0`/`0.0` and distinct NaN payloads hash apart.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = crate::ContentHasher::new();
+        h.write_usize(self.rows);
+        h.write_usize(self.cols);
+        h.write_f32_slice(&self.data);
+        h.finish()
+    }
+
     /// Immutable view of row `r`.
     ///
     /// # Panics

@@ -123,6 +123,19 @@ impl PackedF32 {
         self.data.len() * std::mem::size_of::<f32>()
     }
 
+    /// 128-bit structural content hash over the panel layout: logical
+    /// shape plus every padded lane's bit pattern. Since `pack` is a pure
+    /// function of the source matrix, equal source hashes imply equal
+    /// panel hashes; this direct form lets tests and stores verify panel
+    /// identity without reconstituting the source.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = crate::ContentHasher::new();
+        h.write_usize(self.k);
+        h.write_usize(self.n);
+        h.write_f32_slice(&self.data);
+        h.finish()
+    }
+
     /// Number of [`PANEL_WIDTH`]-column panels.
     fn n_panels(&self) -> usize {
         self.n.div_ceil(PANEL_WIDTH)

@@ -24,10 +24,18 @@
 //!
 //! Legacy `PVIT1` checkpoints (identical layout without the trailing CRC)
 //! still load, without checksum verification.
+//!
+//! For inference-only consumers, [`VisionTransformer::load_prepared`] and
+//! [`VisionTransformer::load_prepared_int8`] run the same validation once
+//! and assemble the immutable prepared view directly from the parsed
+//! tensors, skipping the mutable model and its random initialization (the
+//! fast cold-start path).
 
 use crate::config::ConfigError;
 use crate::{VisionTransformer, VitConfig};
-use pivot_nn::QuantMode;
+use pivot_nn::{
+    LayerNorm, PreparedAttention, PreparedEncoderBlock, PreparedLinear, PreparedMlp, QuantMode,
+};
 use pivot_tensor::{Matrix, Rng};
 use std::error::Error;
 use std::fmt;
@@ -313,110 +321,277 @@ impl VisionTransformer {
     /// magic number, fails a cap or the CRC check, or its parameter shapes
     /// do not match the stored configuration.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let mut r = CrcReader::new(BufReader::new(File::open(path)?));
-        let mut magic = [0u8; 5];
-        r.read_exact(&mut magic)?;
-        let verify_crc = if &magic == MAGIC_V2 {
-            true
-        } else if &magic == MAGIC_V1 {
-            false
-        } else {
-            return Err(CheckpointError::BadMagic);
-        };
-
-        let name_len = capped("name_len", read_u32(&mut r)? as u64, MAX_NAME_LEN)?;
-        let mut name_bytes = vec![0u8; name_len];
-        r.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| corrupt("name is not UTF-8"))?;
-        let depth = capped("depth", read_u32(&mut r)? as u64, MAX_DEPTH)?;
-        let dim = capped("dim", read_u32(&mut r)? as u64, MAX_DIM)?;
-        let heads = capped("heads", read_u32(&mut r)? as u64, MAX_HEADS)?;
-        let mlp_ratio = read_f32(&mut r)?;
-        if !(mlp_ratio.is_finite() && mlp_ratio > 0.0 && mlp_ratio <= MAX_MLP_RATIO) {
-            return Err(corrupt("mlp_ratio out of range"));
-        }
-        let image_size = capped("image_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
-        let patch_size = capped("patch_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
-        let num_classes = capped("num_classes", read_u32(&mut r)? as u64, MAX_NUM_CLASSES)?;
-        let mut quant_byte = [0u8; 1];
-        r.read_exact(&mut quant_byte)?;
-        let quant = match quant_byte[0] {
-            0 => QuantMode::None,
-            1 => QuantMode::Int8,
-            _ => return Err(corrupt("unknown quant mode")),
-        };
-        let config = VitConfig {
-            name,
-            depth,
-            dim,
-            heads,
-            mlp_ratio,
-            image_size,
-            patch_size,
-            num_classes,
-            quant,
-        };
-        // Reject inconsistent geometry *before* building the model:
-        // `VisionTransformer::new` asserts on these and must never be
-        // reachable with unvalidated bytes.
-        config.try_validate()?;
-
-        let mut mask = Vec::with_capacity(depth);
-        for _ in 0..depth {
-            let mut b = [0u8; 1];
-            r.read_exact(&mut b)?;
-            match b[0] {
-                0 => mask.push(false),
-                1 => mask.push(true),
-                _ => return Err(corrupt("attention mask byte is not 0/1")),
-            }
-        }
-
+        let RawCheckpoint {
+            config,
+            active,
+            params,
+        } = read_checkpoint(path)?;
         let mut model = VisionTransformer::new(&config, &mut Rng::new(0));
-        let active: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| a.then_some(i))
-            .collect();
         model.set_active_attentions(&active);
+        let mut slots = model.params_mut();
+        debug_assert_eq!(slots.len(), params.len());
+        for (slot, value) in slots.iter_mut().zip(params) {
+            slot.value = value;
+        }
+        drop(slots);
+        Ok(model)
+    }
 
-        let n_params = capped("n_params", read_u32(&mut r)? as u64, MAX_N_PARAMS)?;
-        let mut params = model.params_mut();
-        if n_params != params.len() {
-            return Err(corrupt("parameter count mismatch"));
-        }
-        for p in params.iter_mut() {
-            let rows = capped("param rows", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
-            let cols = capped("param cols", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
-            if (rows, cols) != p.value.shape() {
-                return Err(corrupt("parameter shape mismatch"));
-            }
-            let mut data = Vec::with_capacity(rows * cols);
-            for _ in 0..rows * cols {
-                data.push(read_f32(&mut r)?);
-            }
-            p.value = Matrix::from_vec(rows, cols, data);
-        }
-        drop(params);
+    /// Loads a checkpoint directly into an immutable [`crate::PreparedModel`],
+    /// skipping the intermediate mutable model entirely.
+    ///
+    /// This is the fast cold-start path. [`VisionTransformer::load`] first
+    /// builds a freshly initialized model (truncated-normal rejection
+    /// sampling over every weight tensor) only to immediately overwrite it,
+    /// and the caller then pays for [`VisionTransformer::prepare`] on top.
+    /// `load_prepared` performs the exact same validation (caps, CRC, shape
+    /// checks) once, then feeds the parsed tensors straight into the
+    /// prepared representation. The result is bit-identical to
+    /// `VisionTransformer::load(path)?.prepare()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VisionTransformer::load`].
+    pub fn load_prepared(path: impl AsRef<Path>) -> Result<crate::PreparedModel, CheckpointError> {
+        Ok(build_prepared(read_checkpoint(path)?, false))
+    }
 
-        if verify_crc {
-            let computed = r.crc();
-            let mut stored_bytes = [0u8; 4];
-            r.read_exact_raw(&mut stored_bytes)?;
-            let stored = u32::from_le_bytes(stored_bytes);
-            if stored != computed {
-                return Err(CheckpointError::ChecksumMismatch { stored, computed });
-            }
+    /// Like [`VisionTransformer::load_prepared`], but packing every linear
+    /// layer into int8 panels; bit-identical to
+    /// `VisionTransformer::load(path)?.prepare_int8()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VisionTransformer::load`].
+    pub fn load_prepared_int8(
+        path: impl AsRef<Path>,
+    ) -> Result<crate::PreparedModel, CheckpointError> {
+        Ok(build_prepared(read_checkpoint(path)?, true))
+    }
+}
+
+/// Everything a checkpoint stores, parsed and validated: the configuration,
+/// the active-attention indices, and the parameter tensors in
+/// [`param_shapes`] order.
+struct RawCheckpoint {
+    config: VitConfig,
+    active: Vec<usize>,
+    params: Vec<Matrix>,
+}
+
+/// Parameter shapes of a model built from `config`, in the exact order
+/// `VisionTransformer::params_mut` yields them. Pinned against the model by
+/// a test, so checkpoint parsing can validate every stored shape *without*
+/// constructing (and randomly initializing) a model first.
+fn param_shapes(config: &VitConfig) -> Vec<(usize, usize)> {
+    let d = config.dim;
+    let hidden = config.mlp_hidden();
+    let mut shapes = vec![
+        (config.patch_dim(), d), // patch_embed weight
+        (1, d),                  // patch_embed bias
+        (1, d),                  // cls token
+        (config.tokens(), d),    // positional embedding
+    ];
+    for _ in 0..config.depth {
+        shapes.extend([(1, d), (1, d)]); // ln1 gamma/beta
+        for _ in 0..4 {
+            shapes.extend([(d, d), (1, d)]); // wq, wk, wv, proj
         }
-        // Both formats must end exactly here; trailing bytes mean the file
-        // is not what it claims to be (e.g. a PVIT2 file whose magic was
-        // corrupted into PVIT1, leaving an unconsumed CRC).
-        let mut extra = [0u8; 1];
-        match r.read_exact_raw(&mut extra) {
-            Ok(()) => Err(corrupt("trailing bytes after checkpoint")),
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(model),
-            Err(e) => Err(e.into()),
+        shapes.extend([(1, d), (1, d)]); // ln2 gamma/beta
+        shapes.extend([(d, hidden), (1, hidden)]); // fc1
+        shapes.extend([(hidden, d), (1, d)]); // fc2
+    }
+    shapes.extend([(1, d), (1, d)]); // final norm gamma/beta
+    shapes.extend([(d, config.num_classes), (1, config.num_classes)]); // head
+    shapes
+}
+
+/// Reads `len` little-endian f32 values in one bulk read.
+fn read_f32_vec(r: &mut impl Read, len: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; len * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Parses and fully validates a checkpoint file: magic, capped header
+/// fields, config validation, attention mask, parameter shapes (against
+/// [`param_shapes`], before each data allocation), CRC (PVIT2 only) and the
+/// trailing-byte check. Shared by [`VisionTransformer::load`] and the
+/// `load_prepared*` cold-start paths.
+fn read_checkpoint(path: impl AsRef<Path>) -> Result<RawCheckpoint, CheckpointError> {
+    let mut r = CrcReader::new(BufReader::new(File::open(path)?));
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    let verify_crc = if &magic == MAGIC_V2 {
+        true
+    } else if &magic == MAGIC_V1 {
+        false
+    } else {
+        return Err(CheckpointError::BadMagic);
+    };
+
+    let name_len = capped("name_len", read_u32(&mut r)? as u64, MAX_NAME_LEN)?;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| corrupt("name is not UTF-8"))?;
+    let depth = capped("depth", read_u32(&mut r)? as u64, MAX_DEPTH)?;
+    let dim = capped("dim", read_u32(&mut r)? as u64, MAX_DIM)?;
+    let heads = capped("heads", read_u32(&mut r)? as u64, MAX_HEADS)?;
+    let mlp_ratio = read_f32(&mut r)?;
+    if !(mlp_ratio.is_finite() && mlp_ratio > 0.0 && mlp_ratio <= MAX_MLP_RATIO) {
+        return Err(corrupt("mlp_ratio out of range"));
+    }
+    let image_size = capped("image_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
+    let patch_size = capped("patch_size", read_u32(&mut r)? as u64, MAX_IMAGE_SIZE)?;
+    let num_classes = capped("num_classes", read_u32(&mut r)? as u64, MAX_NUM_CLASSES)?;
+    let mut quant_byte = [0u8; 1];
+    r.read_exact(&mut quant_byte)?;
+    let quant = match quant_byte[0] {
+        0 => QuantMode::None,
+        1 => QuantMode::Int8,
+        _ => return Err(corrupt("unknown quant mode")),
+    };
+    let config = VitConfig {
+        name,
+        depth,
+        dim,
+        heads,
+        mlp_ratio,
+        image_size,
+        patch_size,
+        num_classes,
+        quant,
+    };
+    // Reject inconsistent geometry *before* deriving shapes or building a
+    // model: `VisionTransformer::new` asserts on these and must never be
+    // reachable with unvalidated bytes.
+    config.try_validate()?;
+
+    let mut active = Vec::new();
+    for i in 0..depth {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        match b[0] {
+            0 => {}
+            1 => active.push(i),
+            _ => return Err(corrupt("attention mask byte is not 0/1")),
         }
+    }
+
+    let shapes = param_shapes(&config);
+    let n_params = capped("n_params", read_u32(&mut r)? as u64, MAX_N_PARAMS)?;
+    if n_params != shapes.len() {
+        return Err(corrupt("parameter count mismatch"));
+    }
+    let mut params = Vec::with_capacity(shapes.len());
+    for &(exp_rows, exp_cols) in &shapes {
+        let rows = capped("param rows", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
+        let cols = capped("param cols", read_u32(&mut r)? as u64, MAX_PARAM_SIDE)?;
+        if (rows, cols) != (exp_rows, exp_cols) {
+            return Err(corrupt("parameter shape mismatch"));
+        }
+        let data = read_f32_vec(&mut r, rows * cols)?;
+        params.push(Matrix::from_vec(rows, cols, data));
+    }
+
+    if verify_crc {
+        let computed = r.crc();
+        let mut stored_bytes = [0u8; 4];
+        r.read_exact_raw(&mut stored_bytes)?;
+        let stored = u32::from_le_bytes(stored_bytes);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+    }
+    // Both formats must end exactly here; trailing bytes mean the file
+    // is not what it claims to be (e.g. a PVIT2 file whose magic was
+    // corrupted into PVIT1, leaving an unconsumed CRC).
+    let mut extra = [0u8; 1];
+    match r.read_exact_raw(&mut extra) {
+        Ok(()) => Err(corrupt("trailing bytes after checkpoint")),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(RawCheckpoint {
+            config,
+            active,
+            params,
+        }),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Pops the next tensor off a shape-validated parameter stream.
+fn take(params: &mut std::vec::IntoIter<Matrix>) -> Matrix {
+    params.next().expect("shape-validated parameter stream")
+}
+
+/// Pops a (weight, bias) pair and prepares it as f32 or int8.
+fn take_linear(
+    params: &mut std::vec::IntoIter<Matrix>,
+    quant: QuantMode,
+    int8: bool,
+) -> PreparedLinear {
+    let w = take(params);
+    let b = take(params);
+    if int8 {
+        PreparedLinear::from_weights_int8(&w, &b)
+    } else {
+        PreparedLinear::from_weights(&w, &b, quant)
+    }
+}
+
+/// Pops a (gamma, beta) pair into a [`LayerNorm`].
+fn take_norm(params: &mut std::vec::IntoIter<Matrix>) -> LayerNorm {
+    let gamma = take(params);
+    let beta = take(params);
+    LayerNorm::from_parts(gamma, beta)
+}
+
+/// Assembles a [`crate::PreparedModel`] straight from parsed checkpoint
+/// tensors, consuming them in [`param_shapes`] order. `read_checkpoint`
+/// already validated every shape, so the constructors' assertions are
+/// unreachable here.
+fn build_prepared(raw: RawCheckpoint, int8: bool) -> crate::PreparedModel {
+    let RawCheckpoint {
+        config,
+        active,
+        params,
+    } = raw;
+    let mut it = params.into_iter();
+    let patch_embed = take_linear(&mut it, config.quant, int8);
+    let cls_token = take(&mut it);
+    let pos_embed = take(&mut it);
+    let blocks = (0..config.depth)
+        .map(|i| {
+            let ln1 = take_norm(&mut it);
+            let wq = take_linear(&mut it, config.quant, int8);
+            let wk = take_linear(&mut it, config.quant, int8);
+            let wv = take_linear(&mut it, config.quant, int8);
+            let proj = take_linear(&mut it, config.quant, int8);
+            let ln2 = take_norm(&mut it);
+            let fc1 = take_linear(&mut it, config.quant, int8);
+            let fc2 = take_linear(&mut it, config.quant, int8);
+            PreparedEncoderBlock::from_parts(
+                ln1,
+                PreparedAttention::from_parts(wq, wk, wv, proj, config.heads),
+                ln2,
+                PreparedMlp::from_parts(fc1, fc2),
+                active.contains(&i),
+            )
+        })
+        .collect();
+    let norm = take_norm(&mut it);
+    let head = take_linear(&mut it, config.quant, int8);
+    debug_assert!(it.next().is_none(), "parameter stream not fully consumed");
+    crate::PreparedModel {
+        config,
+        patch_embed,
+        cls_token,
+        pos_embed,
+        blocks,
+        norm,
+        head,
     }
 }
 
@@ -551,6 +726,79 @@ mod tests {
             }
             other => panic!("expected LimitExceeded, got {other}"),
         }
+    }
+
+    #[test]
+    fn param_shapes_pin_against_model() {
+        let configs = [
+            VitConfig::test_small(),
+            VitConfig {
+                name: "pin".to_string(),
+                depth: 3,
+                dim: 48,
+                heads: 4,
+                mlp_ratio: 3.0,
+                image_size: 20,
+                patch_size: 4,
+                num_classes: 7,
+                quant: QuantMode::Int8,
+            },
+        ];
+        for cfg in configs {
+            cfg.try_validate().expect("valid config");
+            let mut model = VisionTransformer::new(&cfg, &mut Rng::new(0));
+            let actual: Vec<(usize, usize)> =
+                model.params_mut().iter().map(|p| p.value.shape()).collect();
+            assert_eq!(param_shapes(&cfg), actual, "config {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn load_prepared_is_bit_identical_to_load_then_prepare() {
+        let cfg = VitConfig::test_small();
+        let mut model = VisionTransformer::new(&cfg, &mut Rng::new(11));
+        model.set_active_attentions(&[0, 2]);
+        let path = tmp("load_prepared");
+        model.save(&path).expect("save");
+
+        let via_load = VisionTransformer::load(&path).expect("load");
+        let slow_f32 = via_load.prepare();
+        let slow_int8 = via_load.prepare_int8();
+        let fast_f32 = VisionTransformer::load_prepared(&path).expect("load_prepared");
+        let fast_int8 = VisionTransformer::load_prepared_int8(&path).expect("load_prepared_int8");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(fast_f32.config(), slow_f32.config());
+        assert_eq!(fast_f32.weight_bytes(), slow_f32.weight_bytes());
+        assert_eq!(fast_int8.weight_bytes(), slow_int8.weight_bytes());
+        let img = Matrix::from_fn(16, 16, |r, c| ((r * 7 + c) as f32) / 97.0 - 0.4);
+        for (fast, slow) in [(&fast_f32, &slow_f32), (&fast_int8, &slow_int8)] {
+            let a = fast.infer(&img);
+            let b = slow.infer(&img);
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "logits must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn load_prepared_rejects_corruption_like_load() {
+        let cfg = VitConfig::test_small();
+        let model = VisionTransformer::new(&cfg, &mut Rng::new(4));
+        let path = tmp("prepared_crc_flip");
+        model.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() - 64;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = VisionTransformer::load_prepared(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(VisionTransformer::load_prepared("/nonexistent/model.bin").is_err());
     }
 
     proptest! {

@@ -29,6 +29,11 @@ pub use model::{ForwardTrace, VisionTransformer};
 pub use prepared::PreparedModel;
 pub use train::{EpochStats, TrainConfig, Trainer};
 
+// Re-exported so effort-ladder builders (pivot-core, pivot-bench) can share
+// one content-addressed store across models without depending on pivot-nn
+// directly.
+pub use pivot_nn::{PreparedStore, StoreStats};
+
 #[cfg(test)]
 mod thread_safety {
     fn assert_send_sync<T: Send + Sync>() {}

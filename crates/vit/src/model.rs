@@ -188,6 +188,44 @@ impl VisionTransformer {
         }
     }
 
+    /// Like [`VisionTransformer::prepare`], with every [`Linear`]
+    /// deduplicated through `store`: a layer whose weights, bias and quant
+    /// mode are bit-identical to one already prepared into the store (a
+    /// previous effort level of the same backbone, say) reuses its
+    /// `Arc`-shared effective weight instead of materializing another
+    /// copy. Bit-identical to [`VisionTransformer::prepare`] either way —
+    /// the store key covers every input preparation consumes.
+    pub fn prepare_in(&self, store: &pivot_nn::PreparedStore) -> crate::PreparedModel {
+        crate::PreparedModel {
+            config: self.config.clone(),
+            patch_embed: self.patch_embed.prepare_in(store),
+            cls_token: self.cls_token.value.clone(),
+            pos_embed: self.pos_embed.value.clone(),
+            blocks: self.blocks.iter().map(|b| b.prepare_in(store)).collect(),
+            norm: self.norm.clone(),
+            head: self.head.prepare_in(store),
+        }
+    }
+
+    /// Like [`VisionTransformer::prepare_int8`], with every [`Linear`]
+    /// deduplicated through `store` (see
+    /// [`VisionTransformer::prepare_in`]).
+    pub fn prepare_int8_in(&self, store: &pivot_nn::PreparedStore) -> crate::PreparedModel {
+        crate::PreparedModel {
+            config: self.config.clone(),
+            patch_embed: self.patch_embed.prepare_int8_in(store),
+            cls_token: self.cls_token.value.clone(),
+            pos_embed: self.pos_embed.value.clone(),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| b.prepare_int8_in(store))
+                .collect(),
+            norm: self.norm.clone(),
+            head: self.head.prepare_int8_in(store),
+        }
+    }
+
     fn embed(&self, image: &Matrix) -> (Matrix, Matrix) {
         let patches = self.patchify(image);
         let embedded = self.patch_embed.infer(&patches);

@@ -78,10 +78,69 @@ impl PreparedModel {
 
     /// Weight bytes resident across all linear layers: 4 per weight on the
     /// f32 view, 1 on the int8 view.
+    ///
+    /// This is the per-model *streamed* footprint; layers `Arc`-shared
+    /// with other views (a [`pivot_nn::PreparedStore`] ladder) are counted
+    /// in full for every view that holds them. For the deduplicated
+    /// resident footprint, see [`PreparedModel::unique_weight_bytes`].
     pub fn weight_bytes(&self) -> usize {
         self.patch_embed.weight_bytes()
             + self.head.weight_bytes()
             + self.blocks.iter().map(|b| b.weight_bytes()).sum::<usize>()
+    }
+
+    /// Weight bytes this view holds that are not already counted in
+    /// `seen` (keyed by `Arc` pointer identity, see
+    /// [`pivot_nn::PreparedLinear::unique_weight_bytes_into`]). Folding
+    /// one `seen` set over every level of a ladder yields the ladder's
+    /// true resident weight footprint.
+    pub fn unique_weight_bytes_into(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        self.patch_embed.unique_weight_bytes_into(seen)
+            + self.head.unique_weight_bytes_into(seen)
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.unique_weight_bytes_into(seen))
+                .sum::<usize>()
+    }
+
+    /// Weight bytes actually resident for this view alone: like
+    /// [`PreparedModel::weight_bytes`], but each `Arc`-shared allocation
+    /// is counted once even if several layers of *this* model share it.
+    pub fn unique_weight_bytes(&self) -> usize {
+        self.unique_weight_bytes_into(&mut std::collections::HashSet::new())
+    }
+
+    /// A re-view of this model under a different attention-skip pattern,
+    /// `Arc`-sharing every weight payload with `self`.
+    ///
+    /// Prepared views hold every block's weights whether or not its
+    /// attention is active (skipped attentions stay resident in simulated
+    /// SRAM), so changing only the skip switches needs no weight work —
+    /// this is how a whole effort ladder derives from one prepared
+    /// backbone in O(pointer bumps). The result is bit-identical to
+    /// re-preparing the source model under `active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn with_active_attentions(&self, active: &[usize]) -> Self {
+        for &i in active {
+            assert!(
+                i < self.blocks.len(),
+                "encoder index {i} out of depth {}",
+                self.blocks.len()
+            );
+        }
+        Self {
+            blocks: self
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| b.with_attention_active(active.contains(&i)))
+                .collect(),
+            ..self.clone()
+        }
     }
 
     fn embed(&self, image: &Matrix) -> Matrix {
@@ -307,6 +366,56 @@ pub(crate) mod tests {
         assert_eq!(prepared.active_attentions(), m.active_attentions());
         assert_eq!(prepared.config().dim, m.config().dim);
         assert_eq!(prepared.encoder_blocks().len(), m.encoder_blocks().len());
+    }
+
+    #[test]
+    fn with_active_attentions_matches_repreparing() {
+        for quant in [QuantMode::None, QuantMode::Int8] {
+            let mut m = model(60, quant, &[0, 1, 2, 3]);
+            let full = m.prepare();
+            let mut rng = Rng::new(61);
+            let img = Matrix::rand_uniform(16, 16, 0.0, 1.0, &mut rng);
+            for active in [&[0usize, 2][..], &[1], &[]] {
+                let reviewed = full.with_active_attentions(active);
+                m.set_active_attentions(active);
+                assert_eq!(reviewed.active_attentions(), active, "{quant:?}");
+                assert_eq!(reviewed.infer(&img), m.prepare().infer(&img), "{quant:?}");
+                // The re-view shares every weight with its source: zero
+                // new unique bytes.
+                let mut seen = std::collections::HashSet::new();
+                assert_eq!(
+                    full.unique_weight_bytes_into(&mut seen),
+                    full.weight_bytes()
+                );
+                assert_eq!(reviewed.unique_weight_bytes_into(&mut seen), 0, "{quant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_weight_bytes_counts_shared_layers_once() {
+        let m = model(62, QuantMode::Int8, &[0, 2]);
+        let store = pivot_nn::PreparedStore::new();
+        let a = m.prepare_in(&store);
+        let b = m.prepare_in(&store);
+        // Independently prepared: no sharing, unique == streamed.
+        assert_eq!(
+            m.prepare().unique_weight_bytes(),
+            m.prepare().weight_bytes()
+        );
+        // Store-shared: the pair holds one copy between them.
+        let mut seen = std::collections::HashSet::new();
+        let pair_unique =
+            a.unique_weight_bytes_into(&mut seen) + b.unique_weight_bytes_into(&mut seen);
+        assert_eq!(pair_unique, a.weight_bytes());
+        assert_eq!(a.weight_bytes(), b.weight_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of depth")]
+    fn with_active_attentions_rejects_out_of_range() {
+        let m = model(63, QuantMode::None, &[0]);
+        let _ = m.prepare().with_active_attentions(&[99]);
     }
 
     proptest! {
