@@ -1,0 +1,55 @@
+//! Online serving under load (see DESIGN.md, "Serving failure model"):
+//! open-loop steady / 2x-burst / chaos traffic through the `pivot-serve`
+//! engine, reporting throughput and p50/p99 served latency per scenario
+//! and auditing the robustness ledger. Writes the report to
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! `serve_bench smoke` shrinks the request counts for CI and asserts the
+//! structural contracts: every offer resolves typed, the ledger balances,
+//! served p99 stays within the deadline budget, and the injected batch
+//! panic is isolated. The full run additionally expects the 2x burst to
+//! exhibit visible overload pressure (sheds, degradations, or timeouts).
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let report = pivot_bench::experiments::serve_bench(smoke);
+
+    for s in &report.scenarios {
+        assert!(s.accounted, "{}: ledger leaked requests", s.name);
+        assert_eq!(
+            s.offered,
+            s.shed + s.completed + s.degraded + s.timed_out + s.failed,
+            "{}: every offered request must resolve typed",
+            s.name
+        );
+        assert!(
+            s.p99_ms <= s.deadline_ms,
+            "{}: served p99 {:.2} ms exceeds the {:.2} ms deadline budget",
+            s.name,
+            s.p99_ms,
+            s.deadline_ms
+        );
+    }
+    let chaos = report.scenario("chaos");
+    assert_eq!(
+        chaos.panics, 1,
+        "injected batch panic must fire exactly once"
+    );
+    assert!(chaos.failed > 0, "the panicked batch must fail typed");
+    assert!(
+        chaos.completed + chaos.degraded > 0,
+        "the serve loop must survive the panic and keep serving"
+    );
+    if !smoke {
+        let burst = report.scenario("burst");
+        assert!(
+            burst.pressure() > 0,
+            "a sustained 2x burst against a 16-deep queue must surface \
+             typed overload (shed/degraded/timed-out), got none"
+        );
+    }
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+}

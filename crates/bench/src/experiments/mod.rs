@@ -15,6 +15,7 @@ mod int8;
 mod ladder_memory;
 mod parallel;
 mod prepared;
+mod serve;
 
 pub use ablations::{
     ablation_dataflow, ablation_entropy_regularizer, ablation_gating, ablation_ladder,
@@ -30,6 +31,7 @@ pub use int8::{int8_speedup, Int8Speedup, INT8_LOGIT_TOL};
 pub use ladder_memory::{ladder_memory, LadderMemory, LadderMemoryRow, LADDER_DEPTH};
 pub use parallel::{parallel_speedup, ParallelSpeedup};
 pub use prepared::{prepared_speedup, PreparedSpeedup};
+pub use serve::{serve_bench, ServeBench, ServeScenario};
 
 use crate::harness::{FamilyArtifacts, Reproduction};
 use pivot_core::{Phase2Config, Phase2Result, Phase2Search};

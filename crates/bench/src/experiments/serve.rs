@@ -1,0 +1,438 @@
+//! Online serving under load: throughput, tail latency, and the
+//! robustness ledger of `pivot-serve`.
+//!
+//! This is part of the reproduction's systems trajectory rather than a
+//! paper figure: PIVOT's offline story (effort cascades bit-identical
+//! across batch splits) only matters in production if the serving layer
+//! keeps those guarantees under overload. The experiment drives an
+//! **open-loop** traffic generator (arrivals keep coming whether or not
+//! the server keeps up — the load pattern closed-loop clients can't
+//! produce) through three scenarios:
+//!
+//! * `steady` — arrivals at ~half the measured service rate; the healthy
+//!   regime where everything should complete at full effort.
+//! * `burst` — arrivals at ~2x the service rate against a small bounded
+//!   queue; the overload regime where the contract is *typed resolution*
+//!   (shed / degraded / timed-out), never an unbounded queue.
+//! * `chaos` — steady arrivals with the first inference batch forced to
+//!   panic; the isolation regime where one batch fails typed and the
+//!   loop keeps serving.
+//!
+//! Every scenario asserts the ledger identity `submitted == shed +
+//! completed + degraded + timed_out + failed` and that served responses
+//! beat their deadline (late results resolve as timeouts, so the served
+//! p99 is bounded by the deadline budget by construction).
+
+use crate::Table;
+use pivot_core::{evaluate_guarded_slice, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, Sample};
+use pivot_serve::{
+    ChaosConfig, OverloadPolicy, ServeClock, ServeConfig, ServeOutcome, Server, Ticket,
+};
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::{PreparedModel, VisionTransformer, VitConfig};
+use std::time::{Duration, Instant};
+
+/// One scenario's measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeScenario {
+    /// Scenario name (`steady` / `burst` / `chaos`).
+    pub name: &'static str,
+    /// Requests offered by the generator.
+    pub offered: u64,
+    /// Rejected at admission (typed backpressure).
+    pub shed: u64,
+    /// Served at gate-chosen effort.
+    pub completed: u64,
+    /// Served below fidelity (effort-capped or fault fallback).
+    pub degraded: u64,
+    /// Resolved as deadline misses.
+    pub timed_out: u64,
+    /// Failed typed (batch panic).
+    pub failed: u64,
+    /// Batches that panicked and were isolated.
+    pub panics: u64,
+    /// Overload-controller downshift steps.
+    pub downshifts: u64,
+    /// Effort cap at drain.
+    pub final_cap: usize,
+    /// Wall-clock duration of the scenario (submit to last resolution).
+    pub wall_ms: f64,
+    /// Resolved requests per second over the scenario wall time.
+    pub throughput_rps: f64,
+    /// Median latency of *served* (completed + degraded) responses, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency of served responses, ms.
+    pub p99_ms: f64,
+    /// The per-request deadline the generator attached, ms.
+    pub deadline_ms: f64,
+    /// Whether the ledger balanced at drain.
+    pub accounted: bool,
+}
+
+impl ServeScenario {
+    /// Requests that reached a typed terminal state after admission.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.degraded + self.timed_out + self.failed
+    }
+
+    /// Overload pressure indicator: anything other than a full-fidelity
+    /// completion.
+    pub fn pressure(&self) -> u64 {
+        self.shed + self.degraded + self.timed_out + self.failed
+    }
+}
+
+/// Full report: one row per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// `steady`, `burst`, `chaos` in that order.
+    pub scenarios: Vec<ServeScenario>,
+    /// Calibrated per-request service time the generator derived its
+    /// arrival rates from, microseconds.
+    pub service_us: f64,
+}
+
+impl ServeBench {
+    /// Looks up a scenario by name.
+    pub fn scenario(&self, name: &str) -> &ServeScenario {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no scenario named {name}"))
+    }
+
+    /// Serializes the report as a JSON array (for `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"scenario\": \"{}\", \"offered\": {}, \"shed\": {}, \
+                 \"completed\": {}, \"degraded\": {}, \"timed_out\": {}, \
+                 \"failed\": {}, \"panics\": {}, \"downshifts\": {}, \
+                 \"final_cap\": {}, \"throughput_rps\": {:.1}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"deadline_ms\": {:.3}, \
+                 \"accounted\": {}}}{}\n",
+                s.name,
+                s.offered,
+                s.shed,
+                s.completed,
+                s.degraded,
+                s.timed_out,
+                s.failed,
+                s.panics,
+                s.downshifts,
+                s.final_cap,
+                s.throughput_rps,
+                s.p50_ms,
+                s.p99_ms,
+                s.deadline_ms,
+                s.accounted,
+                if i + 1 == self.scenarios.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Open-loop arrival schedule for one scenario: `burst_size` back-to-back
+/// arrivals per tick, one tick per `gap`. Submitting in small bursts
+/// rather than one-by-one keeps the offered rate honest — per-request
+/// sleeps are quantized far above the microsecond interarrivals these
+/// ladders call for.
+#[derive(Debug, Clone, Copy)]
+struct Traffic {
+    requests: usize,
+    burst_size: usize,
+    gap: Duration,
+    deadline: Duration,
+}
+
+fn ladder() -> (Vec<PreparedModel>, Vec<f32>) {
+    let mut low = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(60));
+    low.set_active_attentions(&[0]);
+    let mut high = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(61));
+    high.set_active_attentions(&[0, 1]);
+    (vec![low.prepare(), high.prepare()], vec![0.5])
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Measures the batched per-request service time of the ladder: one
+/// guarded sweep over `batch` images, best of `reps`.
+fn calibrate_service_us(
+    levels: &[PreparedModel],
+    thresholds: &[f32],
+    set: &[Sample],
+    reps: usize,
+) -> f64 {
+    let images: Vec<&Matrix> = set.iter().map(|s| &s.image).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (outcomes, _) =
+            evaluate_guarded_slice(levels, thresholds, 1, &images, Parallelism::Off);
+        let elapsed = start.elapsed().as_secs_f64() * 1e6 / outcomes.len() as f64;
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Drives one open-loop scenario against a fresh server and folds the
+/// ledger plus client-side latencies into a [`ServeScenario`].
+fn run_scenario(
+    name: &'static str,
+    levels: Vec<PreparedModel>,
+    thresholds: Vec<f32>,
+    config: ServeConfig,
+    chaos: ChaosConfig,
+    set: &[Sample],
+    traffic: Traffic,
+) -> ServeScenario {
+    let server = Server::spawn_with(levels, thresholds, config, ServeClock::wall(), chaos);
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(traffic.requests);
+    for i in 0..traffic.requests {
+        let image = set[i % set.len()].image.clone();
+        if let Ok(t) = server.submit(image, traffic.deadline) {
+            tickets.push(t);
+        }
+        if (i + 1) % traffic.burst_size.max(1) == 0 && !traffic.gap.is_zero() {
+            std::thread::sleep(traffic.gap);
+        }
+    }
+
+    let mut served_latencies = Vec::new();
+    for ticket in tickets {
+        let resp = ticket.wait().expect("drain contract resolves every ticket");
+        if let ServeOutcome::Completed(_) | ServeOutcome::Degraded(_) = &resp.outcome {
+            served_latencies.push(resp.latency);
+        }
+    }
+    let h = server.shutdown();
+    let wall = start.elapsed();
+    served_latencies.sort();
+
+    ServeScenario {
+        name,
+        offered: h.submitted,
+        shed: h.shed,
+        completed: h.completed,
+        degraded: h.degraded,
+        timed_out: h.timed_out,
+        failed: h.failed,
+        panics: h.panics,
+        downshifts: h.downshifts,
+        final_cap: h.effort_cap,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_rps: h.resolved() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&served_latencies, 0.50),
+        p99_ms: percentile_ms(&served_latencies, 0.99),
+        deadline_ms: traffic.deadline.as_secs_f64() * 1e3,
+        accounted: h.accounted(),
+    }
+}
+
+/// Runs the serving benchmark: calibrates the ladder's service rate, then
+/// drives the steady / burst / chaos scenarios and prints the report.
+/// `smoke` shrinks the request counts for CI wiring checks.
+pub fn serve_bench(smoke: bool) -> ServeBench {
+    println!("\n=== Online serving under load (pivot-serve) ===");
+    let (levels, thresholds) = ladder();
+    let set = Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.2, 0.8], 16, 62);
+    let service_us = calibrate_service_us(&levels, &thresholds, &set, if smoke { 2 } else { 5 });
+    println!("calibrated service time: {service_us:.1} us/request (batched, effort-gated)");
+    let service = Duration::from_nanos((service_us * 1e3) as u64).max(Duration::from_micros(20));
+
+    let n = if smoke { 96 } else { 400 };
+    // Deadlines sized in service-time units: generous enough that the
+    // steady scenario completes everything, tight enough that a burst's
+    // queueing delay can actually expire requests.
+    let deadline = service * 400;
+    let overload = OverloadPolicy {
+        queue_budget: service * 32,
+        recover_ratio: 0.5,
+        recover_after: 4,
+    };
+    let config = |queue_capacity| ServeConfig {
+        queue_capacity,
+        max_batch: 16,
+        batch_window: service,
+        parallelism: Parallelism::Off,
+        overload,
+    };
+
+    // Steady: bursts of 8 at half the service rate. Burst: bursts of 32
+    // (2x the bounded queue) at twice the service rate, so the queue must
+    // answer with typed backpressure rather than buffering.
+    let steady = run_scenario(
+        "steady",
+        levels.clone(),
+        thresholds.clone(),
+        config(256),
+        ChaosConfig::default(),
+        &set,
+        Traffic {
+            requests: n,
+            burst_size: 8,
+            gap: service * 16,
+            deadline,
+        },
+    );
+    let burst = run_scenario(
+        "burst",
+        levels.clone(),
+        thresholds.clone(),
+        config(16),
+        ChaosConfig::default(),
+        &set,
+        Traffic {
+            requests: 2 * n,
+            burst_size: 32,
+            gap: service * 16,
+            deadline,
+        },
+    );
+    let chaos = run_scenario(
+        "chaos",
+        levels,
+        thresholds,
+        config(256),
+        ChaosConfig {
+            panic_batches: vec![0],
+            ..ChaosConfig::default()
+        },
+        &set,
+        Traffic {
+            requests: n,
+            burst_size: 8,
+            gap: service * 16,
+            deadline,
+        },
+    );
+
+    let report = ServeBench {
+        scenarios: vec![steady, burst, chaos],
+        service_us,
+    };
+
+    let mut table = Table::new(&[
+        "Scenario",
+        "Offered",
+        "Shed",
+        "Completed",
+        "Degraded",
+        "Timed out",
+        "Failed",
+        "Thru (req/s)",
+        "p50 (ms)",
+        "p99 (ms)",
+        "Ledger",
+    ]);
+    for s in &report.scenarios {
+        table.row_owned(vec![
+            s.name.to_string(),
+            format!("{}", s.offered),
+            format!("{}", s.shed),
+            format!("{}", s.completed),
+            format!("{}", s.degraded),
+            format!("{}", s.timed_out),
+            format!("{}", s.failed),
+            format!("{:.0}", s.throughput_rps),
+            format!("{:.2}", s.p50_ms),
+            format!("{:.2}", s.p99_ms),
+            if s.accounted { "balanced" } else { "LEAKED" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    let burst = report.scenario("burst");
+    println!(
+        "burst pressure: {} typed non-completions ({} downshifts, final effort cap {})",
+        burst.pressure(),
+        burst.downshifts,
+        burst.final_cap,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_serve_bench_keeps_every_contract() {
+        let report = serve_bench(true);
+        assert_eq!(report.scenarios.len(), 3);
+        for s in &report.scenarios {
+            assert!(s.accounted, "{}: ledger leaked", s.name);
+            assert_eq!(
+                s.offered,
+                s.shed + s.resolved(),
+                "{}: every offer must resolve typed",
+                s.name
+            );
+            // Served responses beat their deadline by construction (late
+            // results resolve as timeouts), so the served p99 is bounded
+            // by the deadline budget.
+            assert!(
+                s.p99_ms <= s.deadline_ms,
+                "{}: served p99 {:.2} ms exceeds deadline {:.2} ms",
+                s.name,
+                s.p99_ms,
+                s.deadline_ms
+            );
+        }
+        let chaos = report.scenario("chaos");
+        assert_eq!(chaos.panics, 1, "the injected panic must fire once");
+        assert!(chaos.failed > 0, "the panicked batch fails typed");
+        // The loop must survive the panic and keep serving. The slow
+        // panic unwind ages the queue, so the overload controller may
+        // legitimately serve the survivors degraded.
+        assert!(
+            chaos.completed + chaos.degraded > 0,
+            "the loop must survive the panic and keep serving"
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = ServeBench {
+            scenarios: vec![ServeScenario {
+                name: "steady",
+                offered: 10,
+                shed: 0,
+                completed: 10,
+                degraded: 0,
+                timed_out: 0,
+                failed: 0,
+                panics: 0,
+                downshifts: 0,
+                final_cap: 1,
+                wall_ms: 5.0,
+                throughput_rps: 2000.0,
+                p50_ms: 0.5,
+                p99_ms: 1.0,
+                deadline_ms: 100.0,
+                accounted: true,
+            }],
+            service_us: 50.0,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"scenario\": \"steady\""));
+        assert!(json.contains("\"throughput_rps\": 2000.0"));
+        assert!(json.contains("\"accounted\": true"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

@@ -78,6 +78,56 @@ impl DegradationReport {
     pub fn non_finite_at(&self, level: usize) -> usize {
         self.events.iter().filter(|e| e.level == level).count()
     }
+
+    /// Number of samples that escalated because of a fault rather than an
+    /// entropy gate (events with `served_by: None` below the exit level).
+    pub fn escalations(&self) -> usize {
+        self.events.iter().filter(|e| e.served_by.is_none()).count()
+    }
+
+    /// Appends every event of `other`, preserving `other`'s internal
+    /// order after the events already present.
+    ///
+    /// This is the aggregation primitive for long-lived consumers (the
+    /// serving engine's health counters, multi-evaluation sweeps): each
+    /// per-request/per-batch report merges into one running report whose
+    /// counters ([`Self::fallbacks`], [`Self::non_finite_at`], ...) then
+    /// describe the whole history. Sample indices stay *local* to the
+    /// evaluation that produced them — a merged report counts events, it
+    /// does not re-index samples across evaluations.
+    pub fn merge(&mut self, other: DegradationReport) {
+        self.events.extend(other.events);
+    }
+}
+
+impl std::iter::Sum for DegradationReport {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut total = DegradationReport::default();
+        for report in iter {
+            total.merge(report);
+        }
+        total
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    /// One-line health summary, e.g.
+    /// `3 degradation events (1 fault escalation, 2 fallbacks)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no degradation events");
+        }
+        write!(
+            f,
+            "{} degradation event{} ({} fault escalation{}, {} fallback{})",
+            self.len(),
+            if self.len() == 1 { "" } else { "s" },
+            self.escalations(),
+            if self.escalations() == 1 { "" } else { "s" },
+            self.fallbacks(),
+            if self.fallbacks() == 1 { "" } else { "s" },
+        )
+    }
 }
 
 /// Cached low-effort inference over one sample set.
@@ -173,9 +223,35 @@ impl CascadeCache {
         self.entropies.is_empty()
     }
 
-    /// The cached low-effort logits, in sample order.
+    /// The cached low-effort logits, in sample order. Empty after
+    /// [`Self::compact`].
     pub fn low_logits(&self) -> &[Matrix] {
         &self.low_logits
+    }
+
+    /// Approximate heap bytes held by the cached logits — the part of the
+    /// cache that scales with `num_classes` per sample and dominates its
+    /// footprint. Entropies and predictions are a few bytes per sample.
+    pub fn logits_bytes(&self) -> usize {
+        self.low_logits
+            .iter()
+            .map(|m| m.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Drops the cached per-sample logit rows, keeping only the derived
+    /// entropies and argmax predictions.
+    ///
+    /// Every query the cascade engines use — [`Self::f_low_at`],
+    /// [`Self::escalated`], [`Self::threshold_reaching`],
+    /// [`Self::evaluate_guarded_prepared`] and friends — reads only the
+    /// derived values, so evaluation results are unchanged by compaction;
+    /// only [`Self::low_logits`] (empty afterwards) observes it. This is
+    /// the memory-bounding API for long-lived servers that build one cache
+    /// per calibration window: a compacted cache holds O(N) floats instead
+    /// of O(N x num_classes) logit rows.
+    pub fn compact(&mut self) {
+        self.low_logits = Vec::new();
     }
 
     /// The cached normalized entropies, in sample order.
@@ -618,6 +694,171 @@ mod tests {
             assert!(w[0] <= w[1]);
         }
         assert_eq!(*curve.last().expect("non-empty"), 1.0);
+    }
+
+    #[test]
+    fn merge_and_sum_aggregate_reports() {
+        let mut a = DegradationReport {
+            events: vec![DegradationEvent {
+                sample: 0,
+                level: 0,
+                served_by: None,
+            }],
+        };
+        let b = DegradationReport {
+            events: vec![
+                DegradationEvent {
+                    sample: 1,
+                    level: 1,
+                    served_by: Some(0),
+                },
+                DegradationEvent {
+                    sample: 2,
+                    level: 1,
+                    served_by: Some(0),
+                },
+            ],
+        };
+        a.merge(b.clone());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.escalations(), 1);
+        assert_eq!(a.fallbacks(), 2);
+        assert_eq!(a.non_finite_at(1), 2);
+        // Merging an empty report is a no-op; merging into an empty report
+        // reproduces the source.
+        let before = a.clone();
+        a.merge(DegradationReport::default());
+        assert_eq!(a, before);
+        let summed: DegradationReport =
+            vec![before.clone(), DegradationReport::default(), b.clone()]
+                .into_iter()
+                .sum();
+        assert_eq!(summed.len(), before.len() + b.len());
+        assert_eq!(summed.fallbacks(), before.fallbacks() + b.fallbacks());
+    }
+
+    #[test]
+    fn report_display_summarizes_counts() {
+        assert_eq!(
+            DegradationReport::default().to_string(),
+            "no degradation events"
+        );
+        let report = DegradationReport {
+            events: vec![
+                DegradationEvent {
+                    sample: 0,
+                    level: 0,
+                    served_by: None,
+                },
+                DegradationEvent {
+                    sample: 1,
+                    level: 1,
+                    served_by: Some(0),
+                },
+            ],
+        };
+        assert_eq!(
+            report.to_string(),
+            "2 degradation events (1 fault escalation, 1 fallback)"
+        );
+    }
+
+    #[test]
+    fn compacted_cache_evaluates_identically_with_bounded_memory() {
+        let low = model(40, &[0]);
+        let high = model(41, &[0, 1]);
+        let set = samples(16, 42);
+        let full = CascadeCache::build(&low, &set, Parallelism::Off);
+        let mut compacted = full.clone();
+        assert!(compacted.logits_bytes() > 0);
+        compacted.compact();
+        // The heavy per-sample logit rows are gone...
+        assert_eq!(compacted.logits_bytes(), 0);
+        assert!(compacted.low_logits().is_empty());
+        // ...and every cascade-facing query is unchanged.
+        assert_eq!(compacted.len(), full.len());
+        let high_p = high.prepare();
+        for th in [0.0, 0.4, 0.8, 1.0] {
+            assert_eq!(compacted.f_low_at(th), full.f_low_at(th));
+            assert_eq!(compacted.escalated(th), full.escalated(th));
+            let (stats, report) =
+                compacted.evaluate_guarded_prepared(&high_p, &set, th, Parallelism::Off);
+            let (full_stats, full_report) =
+                full.evaluate_guarded_prepared(&high_p, &set, th, Parallelism::Off);
+            assert_eq!(stats, full_stats, "Th={th}");
+            assert_eq!(report, full_report, "Th={th}");
+        }
+        assert_eq!(
+            compacted.threshold_reaching(0.5, 0.02),
+            full.threshold_reaching(0.5, 0.02)
+        );
+    }
+
+    #[test]
+    fn int8_guarded_prepared_degrades_on_faulted_high_effort() {
+        // Satellite contract: PR 3's guarded tests predate the packed-int8
+        // path. A stuck-NaN-faulted high effort prepared as Int8 must
+        // surface non-finite logits through the integer GEMM (poisoned
+        // weight columns) and fall back to the cached low predictions with
+        // full accounting, exactly like the f32 path.
+        let low = model(44, &[0]);
+        let mut high = model(45, &[0, 1]);
+        crate::faults::FaultInjector::new(46).inject_params(
+            &mut high,
+            crate::faults::FaultKind::StuckNan,
+            10_000,
+        );
+        let set = samples(12, 47);
+        let cache = CascadeCache::build_int8(&low, &set, Parallelism::Off);
+        let high_int8 = high.prepare_int8();
+        assert!(high_int8.is_int8());
+        // Th = 0 escalates everything into the faulted int8 high effort.
+        let (stats, report) =
+            cache.evaluate_guarded_prepared(&high_int8, &set, 0.0, Parallelism::Off);
+        assert_eq!(stats.n_high, set.len());
+        assert_eq!(stats.n_high, stats.c_high + stats.i_high);
+        assert_eq!(report.fallbacks(), set.len(), "every sample must fall back");
+        assert_eq!(report.non_finite_at(1), set.len());
+        assert_eq!(report.non_finite_at(0), 0);
+        // Served accuracy is exactly the int8 low effort's cached accuracy.
+        let low_correct = set
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| cache.low_prediction(*i) == s.label)
+            .count();
+        assert_eq!(stats.c_high, low_correct);
+    }
+
+    #[test]
+    fn int8_guarded_prepared_escalates_on_faulted_low_effort() {
+        // Int8 mirror of the faulted-low contract: NaN-poisoned low weights
+        // must produce non-finite cached entropies through the packed
+        // kernel, so every sample escalates to the healthy int8 high
+        // effort even at the inclusive Th = 1.0 boundary.
+        let mut low = model(48, &[0]);
+        crate::faults::FaultInjector::new(49).inject_params(
+            &mut low,
+            crate::faults::FaultKind::StuckNan,
+            10_000,
+        );
+        let high = model(50, &[0, 1]);
+        let set = samples(10, 51);
+        let cache = CascadeCache::build_int8(&low, &set, Parallelism::Off);
+        assert!(
+            cache.entropies().iter().all(|e| !e.is_finite()),
+            "int8 packing must not launder NaN weights to finite entropies"
+        );
+        let high_int8 = high.prepare_int8();
+        let (stats, report) =
+            cache.evaluate_guarded_prepared(&high_int8, &set, 1.0, Parallelism::Off);
+        assert_eq!(stats.n_high, set.len());
+        assert_eq!(report.non_finite_at(0), set.len());
+        assert_eq!(report.fallbacks(), 0, "escalation is the recovery");
+        let high_correct = set
+            .iter()
+            .filter(|s| high_int8.infer(&s.image).row_argmax(0) == s.label)
+            .count();
+        assert_eq!(stats.c_high, high_correct);
     }
 
     #[test]

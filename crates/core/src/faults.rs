@@ -161,6 +161,41 @@ impl FaultInjector {
         faults
     }
 
+    /// Derives a deterministic latency-fault schedule: each
+    /// [`StallSchedule::next_stall`] call independently stalls with
+    /// probability `permille`/1000, for a uniformly chosen duration in
+    /// `[min, max]`.
+    ///
+    /// Timing faults (a preempted core, a DMA retry, a thermally throttled
+    /// burst) are what make deadline-sensitive serving fragile, and they
+    /// are the hardest faults to test because real stalls are wall-clock
+    /// flaky. The schedule moves the nondeterminism into the seed: the
+    /// serving engine charges each scheduled stall to its clock (a manual
+    /// test clock or a real sleep), so deadline-miss and timeout paths
+    /// replay bit-identically from one seed with no actual waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000` or `max < min`.
+    pub fn stall_schedule(
+        &mut self,
+        permille: u32,
+        min: std::time::Duration,
+        max: std::time::Duration,
+    ) -> StallSchedule {
+        assert!(
+            permille <= 1000,
+            "stall probability is per-mille (0..=1000)"
+        );
+        assert!(max >= min, "max stall must be at least min stall");
+        StallSchedule {
+            rng: self.rng.fork(0x57a1_1ed0),
+            permille,
+            min_ns: min.as_nanos() as u64,
+            max_ns: max.as_nanos() as u64,
+        }
+    }
+
     /// Corrupts `count` bytes of a serialized artifact (e.g. checkpoint
     /// bytes) at uniformly chosen positions. Each corruption XORs a
     /// non-zero mask, so the byte is guaranteed to change. Returns the
@@ -177,6 +212,37 @@ impl FaultInjector {
             positions.push(pos);
         }
         positions
+    }
+}
+
+/// A deterministic stream of stall decisions (see
+/// [`FaultInjector::stall_schedule`]). Two schedules derived from
+/// equal-seeded injectors with the same parameters produce the same
+/// sequence of stalls, independent of platform.
+#[derive(Debug, Clone)]
+pub struct StallSchedule {
+    rng: Rng,
+    permille: u32,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl StallSchedule {
+    /// Draws the next stall decision: `None` (no stall this step) or the
+    /// stall duration. Every call advances the schedule, hit or miss, so
+    /// consumers that poll at different granularities still replay the
+    /// same sequence step-for-step.
+    pub fn next_stall(&mut self) -> Option<std::time::Duration> {
+        // Draw position before deciding, so the duration stream stays
+        // aligned with the decision stream across probabilities.
+        let span = self.max_ns - self.min_ns;
+        let offset = if span == 0 {
+            0
+        } else {
+            self.rng.next_u64() % (span + 1)
+        };
+        let hit = (self.rng.below(1000) as u32) < self.permille;
+        hit.then(|| std::time::Duration::from_nanos(self.min_ns + offset))
     }
 }
 
@@ -228,6 +294,77 @@ mod tests {
             let y = inj.corrupt_value(x, FaultKind::BitFlip);
             assert_eq!((x.to_bits() ^ y.to_bits()).count_ones(), 1);
         }
+    }
+
+    #[test]
+    fn stall_schedule_is_deterministic_per_seed() {
+        use std::time::Duration;
+        let make = |seed: u64| {
+            FaultInjector::new(seed).stall_schedule(
+                250,
+                Duration::from_millis(1),
+                Duration::from_millis(20),
+            )
+        };
+        let a: Vec<_> = (0..256)
+            .map({
+                let mut s = make(7);
+                move |_| s.next_stall()
+            })
+            .collect();
+        let b: Vec<_> = (0..256)
+            .map({
+                let mut s = make(7);
+                move |_| s.next_stall()
+            })
+            .collect();
+        assert_eq!(a, b, "same seed must replay the same stall sequence");
+        let c: Vec<_> = (0..256)
+            .map({
+                let mut s = make(8);
+                move |_| s.next_stall()
+            })
+            .collect();
+        assert_ne!(a, c, "different seeds must differ");
+        // Roughly a quarter of steps stall, and every stall is in range.
+        let hits: Vec<_> = a.iter().flatten().collect();
+        assert!(
+            hits.len() > 256 / 8 && hits.len() < 256 / 2,
+            "{}",
+            hits.len()
+        );
+        for d in hits {
+            assert!(*d >= Duration::from_millis(1) && *d <= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn stall_schedule_edge_probabilities() {
+        use std::time::Duration;
+        let mut never = FaultInjector::new(1).stall_schedule(
+            0,
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        );
+        assert!((0..64).all(|_| never.next_stall().is_none()));
+        let mut always = FaultInjector::new(1).stall_schedule(
+            1000,
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        );
+        for _ in 0..64 {
+            assert_eq!(always.next_stall(), Some(Duration::from_millis(5)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn stall_schedule_rejects_overflowing_probability() {
+        let _ = FaultInjector::new(0).stall_schedule(
+            1001,
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        );
     }
 
     #[test]

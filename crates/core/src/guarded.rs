@@ -1,0 +1,400 @@
+//! Guarded prepared evaluation over a slice of raw images — the
+//! per-request form of the cascade that online consumers (the `pivot-serve`
+//! engine) build on.
+//!
+//! [`CascadeCache::evaluate_guarded_prepared`](crate::CascadeCache::evaluate_guarded_prepared)
+//! answers the *offline* question: given a calibration set with labels and
+//! a pre-built entropy cache, what are the cascade's aggregate statistics?
+//! A server answers a different question per batch: given a transient slice
+//! of unlabeled images that will never be seen again, what does the cascade
+//! *predict* for each — under an effort cap the overload controller may
+//! have imposed — and which predictions were degraded by faults?
+//!
+//! [`evaluate_guarded_slice`] is that primitive. It reuses the exact
+//! machinery of the offline path — [`batched_logits_with`] chunked GEMMs on
+//! the worker pool, the [`stays_low`] gate, non-finite-aware fallback — so
+//! on healthy models its per-sample predictions and entropies are
+//! **bit-identical** to what the offline cache-based evaluation computes
+//! for the same images, for every batch split and [`Parallelism`].
+//!
+//! ## Gate and degradation contract
+//!
+//! Levels are ordered low → high effort, with `levels - 1` thresholds.
+//! A sample ascends while `!stays_low(entropy, threshold[level])` and the
+//! level is below `max_level` (the effort cap); the cap level accepts
+//! everything. With two levels and `max_level = 1` the routing is exactly
+//! the paper cascade's. Faults follow DESIGN.md §5, per sample:
+//!
+//! * a non-finite entropy at a gate level never stays low, so a faulted
+//!   level auto-escalates (event with `served_by: None`);
+//! * non-finite logits at the *exit* level are served by the deepest
+//!   earlier visited level with finite logits (event with `served_by:
+//!   Some(level)`); if every visited level is faulty the exit level's own
+//!   argmax stands (event with `served_by: None`).
+
+use crate::batched::batched_logits_with;
+use crate::cache::{DegradationEvent, DegradationReport};
+use crate::cascade::stays_low;
+use crate::parallel::Parallelism;
+use pivot_nn::normalized_entropy;
+use pivot_tensor::Matrix;
+use pivot_vit::PreparedModel;
+
+/// What one sample's guarded cascade walk produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedOutcome {
+    /// Predicted class (after any fault fallback).
+    pub prediction: usize,
+    /// Effort level the sample exited at (whose cost was spent).
+    pub level: usize,
+    /// Normalized entropy of the exit level's logits (NaN if faulted).
+    pub entropy: f32,
+    /// Whether the sample exited at the effort cap while its entropy
+    /// still demanded escalation — the signature of an overload-degraded
+    /// answer. Always `false` when the cap is the full ladder top and for
+    /// samples the gate genuinely accepted.
+    pub capped: bool,
+    /// Whether the exit level's logits were finite. When `false`, the
+    /// prediction came from `fault_fallback` (or, if that is `None`, from
+    /// the faulty logits' own argmax — the last resort).
+    pub exit_finite: bool,
+    /// The earlier level whose prediction was served instead of the
+    /// faulty exit level's, if any.
+    pub fault_fallback: Option<usize>,
+}
+
+/// Per-level observation retained while a sample ascends.
+#[derive(Debug, Clone, Copy)]
+struct LevelObs {
+    entropy: f32,
+    prediction: usize,
+    finite: bool,
+}
+
+/// Runs the guarded cascade over a slice of images against prepared
+/// effort levels, capping ascent at `max_level`, and returns one
+/// [`GuardedOutcome`] per image (in input order) plus the batch's
+/// [`DegradationReport`] (sample indices local to this slice).
+///
+/// Each level's inference is one batched sweep over exactly the samples
+/// that reached it, so a size-`B` slice costs the same GEMM work as the
+/// offline cache path would spend on those `B` samples.
+///
+/// # Panics
+///
+/// Panics if `levels` is empty, `thresholds.len() != levels.len() - 1`,
+/// or `max_level >= levels.len()`.
+pub fn evaluate_guarded_slice(
+    levels: &[PreparedModel],
+    thresholds: &[f32],
+    max_level: usize,
+    images: &[&Matrix],
+    par: Parallelism,
+) -> (Vec<GuardedOutcome>, DegradationReport) {
+    assert!(!levels.is_empty(), "need at least one effort level");
+    assert_eq!(
+        thresholds.len(),
+        levels.len() - 1,
+        "need one threshold per gate (levels - 1)"
+    );
+    assert!(max_level < levels.len(), "effort cap beyond ladder top");
+
+    let n = images.len();
+    let mut visited: Vec<Vec<LevelObs>> = vec![Vec::new(); n];
+    let mut exit = vec![0usize; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    for (level, model) in levels.iter().enumerate().take(max_level + 1) {
+        if active.is_empty() {
+            break;
+        }
+        let level_images: Vec<&Matrix> = active.iter().map(|&i| images[i]).collect();
+        let logits = batched_logits_with(model, &level_images, |m| *m, par);
+        for (&i, logits) in active.iter().zip(&logits) {
+            visited[i].push(LevelObs {
+                entropy: normalized_entropy(logits),
+                prediction: logits.row_argmax(0),
+                finite: logits.is_all_finite(),
+            });
+        }
+        let is_cap = level == max_level;
+        active.retain(|&i| {
+            let obs = visited[i].last().expect("pushed above");
+            if is_cap || stays_low(obs.entropy, thresholds[level]) {
+                exit[i] = level;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut report = DegradationReport::default();
+    for (i, walk) in visited.iter().enumerate() {
+        let exit_level = exit[i];
+        for (level, obs) in walk.iter().enumerate().take(exit_level) {
+            if !obs.entropy.is_finite() {
+                report.events.push(DegradationEvent {
+                    sample: i,
+                    level,
+                    served_by: None,
+                });
+            }
+        }
+        let top = walk[exit_level];
+        let mut fault_fallback = None;
+        let prediction = if top.finite {
+            top.prediction
+        } else {
+            fault_fallback = (0..exit_level).rev().find(|&l| walk[l].finite);
+            report.events.push(DegradationEvent {
+                sample: i,
+                level: exit_level,
+                served_by: fault_fallback,
+            });
+            match fault_fallback {
+                Some(l) => walk[l].prediction,
+                None => top.prediction,
+            }
+        };
+        let capped = exit_level == max_level
+            && max_level < levels.len() - 1
+            && !stays_low(top.entropy, thresholds[max_level]);
+        outcomes.push(GuardedOutcome {
+            prediction,
+            level: exit_level,
+            entropy: top.entropy,
+            capped,
+            exit_finite: top.finite,
+            fault_fallback,
+        });
+    }
+    (outcomes, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CascadeCache;
+    use crate::cascade::CascadeStats;
+    use crate::faults::{FaultInjector, FaultKind};
+    use pivot_data::{Dataset, DatasetConfig, Sample};
+    use pivot_tensor::Rng;
+    use pivot_vit::{VisionTransformer, VitConfig};
+
+    fn model(seed: u64, active: &[usize]) -> VisionTransformer {
+        let mut m = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(seed));
+        m.set_active_attentions(active);
+        m
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.2, 0.8], n / 2, seed)
+    }
+
+    fn images(set: &[Sample]) -> Vec<&Matrix> {
+        set.iter().map(|s| &s.image).collect()
+    }
+
+    /// Folds slice outcomes into offline-style [`CascadeStats`] using the
+    /// ground-truth labels (level 0 = low, everything above = high).
+    fn to_cascade_stats(outcomes: &[GuardedOutcome], set: &[Sample]) -> CascadeStats {
+        let mut stats = CascadeStats::default();
+        for (o, s) in outcomes.iter().zip(set) {
+            let correct = o.prediction == s.label;
+            if o.level == 0 {
+                stats.n_low += 1;
+                stats.c_low += correct as usize;
+                stats.i_low += !correct as usize;
+            } else {
+                stats.n_high += 1;
+                stats.c_high += correct as usize;
+                stats.i_high += !correct as usize;
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn healthy_two_level_slice_is_bit_identical_to_offline_cache_path() {
+        let low = model(0, &[0]);
+        let high = model(1, &[0, 1]);
+        let set = samples(18, 2);
+        let (low_p, high_p) = (low.prepare(), high.prepare());
+        let cache = CascadeCache::build_prepared(&low_p, &set, Parallelism::Off);
+        for th in [0.0, 0.35, 0.7, 1.0] {
+            let (outcomes, report) = evaluate_guarded_slice(
+                &[low_p.clone(), high_p.clone()],
+                &[th],
+                1,
+                &images(&set),
+                Parallelism::Off,
+            );
+            assert!(report.is_empty(), "healthy models must not degrade");
+            let (offline_stats, offline_report) =
+                cache.evaluate_guarded_prepared(&high_p, &set, th, Parallelism::Off);
+            assert!(offline_report.is_empty());
+            assert_eq!(to_cascade_stats(&outcomes, &set), offline_stats, "Th={th}");
+            // Per-sample routing and low-level entropies agree bitwise
+            // with the offline cache.
+            for (i, o) in outcomes.iter().enumerate() {
+                let escalated = !crate::cascade::stays_low(cache.entropies()[i], th);
+                assert_eq!(o.level, escalated as usize, "sample {i} Th={th}");
+                assert!(!o.capped);
+                assert!(o.exit_finite);
+                if o.level == 0 {
+                    assert_eq!(o.entropy.to_bits(), cache.entropies()[i].to_bits());
+                    assert_eq!(o.prediction, cache.low_prediction(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_evaluation_is_bit_identical_across_parallelism() {
+        let low = model(3, &[0]);
+        let high = model(4, &[0, 1]);
+        let set = samples(40, 5);
+        let levels = [low.prepare(), high.prepare()];
+        let (seq, seq_report) =
+            evaluate_guarded_slice(&levels, &[0.5], 1, &images(&set), Parallelism::Off);
+        for par in [Parallelism::Fixed(3), Parallelism::Fixed(16)] {
+            let (par_out, par_report) =
+                evaluate_guarded_slice(&levels, &[0.5], 1, &images(&set), par);
+            assert_eq!(par_report, seq_report);
+            for (a, b) in seq.iter().zip(&par_out) {
+                assert_eq!(a.prediction, b.prediction);
+                assert_eq!(a.level, b.level);
+                assert_eq!(a.entropy.to_bits(), b.entropy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn effort_cap_zero_serves_everything_low_and_flags_capped() {
+        let low = model(6, &[0]);
+        let high = model(7, &[0, 1]);
+        let set = samples(16, 8);
+        let levels = [low.prepare(), high.prepare()];
+        let th = 0.5;
+        let (full, _) = evaluate_guarded_slice(&levels, &[th], 1, &images(&set), Parallelism::Off);
+        let (capped, report) =
+            evaluate_guarded_slice(&levels, &[th], 0, &images(&set), Parallelism::Off);
+        assert!(report.is_empty());
+        let mut would_escalate = 0;
+        for (c, f) in capped.iter().zip(&full) {
+            assert_eq!(c.level, 0, "cap 0 must never run the high effort");
+            // A capped walk and a full walk agree on the low-level gate:
+            // `capped` is set exactly for the samples the full walk
+            // escalated.
+            assert_eq!(c.capped, f.level == 1);
+            would_escalate += c.capped as usize;
+            if f.level == 0 {
+                assert_eq!(c.prediction, f.prediction);
+                assert_eq!(c.entropy.to_bits(), f.entropy.to_bits());
+            }
+        }
+        assert!(would_escalate > 0, "test set must exercise escalation");
+    }
+
+    #[test]
+    fn three_level_ladder_respects_intermediate_cap() {
+        let levels: Vec<_> = [&[0usize][..], &[0, 1], &[0, 1, 2, 3]]
+            .iter()
+            .map(|active| model(9, active).prepare())
+            .collect();
+        let ths = [0.0, 0.0]; // send everything as high as allowed
+        let set = samples(10, 10);
+        for cap in 0..3 {
+            let (outcomes, report) =
+                evaluate_guarded_slice(&levels, &ths, cap, &images(&set), Parallelism::Off);
+            assert!(report.is_empty());
+            for o in &outcomes {
+                assert_eq!(o.level, cap, "zero thresholds pin every exit at the cap");
+                assert_eq!(o.capped, cap < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_high_effort_falls_back_with_cascade_identical_accounting() {
+        let low = model(11, &[0]);
+        let mut high = model(12, &[0, 1]);
+        FaultInjector::new(13).inject_params(&mut high, FaultKind::StuckNan, 10_000);
+        let set = samples(12, 14);
+        let (low_p, high_p) = (low.prepare(), high.prepare());
+        let cache = CascadeCache::build_prepared(&low_p, &set, Parallelism::Off);
+        // Th = 0 escalates everything into the faulted high effort.
+        let (outcomes, report) = evaluate_guarded_slice(
+            &[low_p, high_p.clone()],
+            &[0.0],
+            1,
+            &images(&set),
+            Parallelism::Off,
+        );
+        let (offline_stats, offline_report) =
+            cache.evaluate_guarded_prepared(&high_p, &set, 0.0, Parallelism::Off);
+        assert_eq!(to_cascade_stats(&outcomes, &set), offline_stats);
+        assert_eq!(report, offline_report);
+        assert_eq!(report.fallbacks(), set.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.level, 1);
+            assert!(!o.exit_finite);
+            assert_eq!(o.fault_fallback, Some(0));
+            assert_eq!(o.prediction, cache.low_prediction(i));
+        }
+    }
+
+    #[test]
+    fn faulted_low_effort_escalates_to_healthy_high() {
+        let mut low = model(15, &[0]);
+        FaultInjector::new(16).inject_params(&mut low, FaultKind::StuckNan, 10_000);
+        let high = model(17, &[0, 1]);
+        let set = samples(10, 18);
+        let (low_p, high_p) = (low.prepare(), high.prepare());
+        // Even at the inclusive Th = 1.0 boundary, NaN entropies escalate.
+        let (outcomes, report) = evaluate_guarded_slice(
+            &[low_p, high_p.clone()],
+            &[1.0],
+            1,
+            &images(&set),
+            Parallelism::Off,
+        );
+        assert_eq!(report.non_finite_at(0), set.len());
+        assert_eq!(report.fallbacks(), 0, "escalation is the recovery");
+        for (o, s) in outcomes.iter().zip(&set) {
+            assert_eq!(o.level, 1);
+            assert!(o.exit_finite);
+            assert_eq!(o.prediction, high_p.infer(&s.image).row_argmax(0));
+        }
+    }
+
+    #[test]
+    fn empty_slice_yields_empty_results() {
+        let low = model(19, &[0]);
+        let high = model(20, &[0, 1]);
+        let (outcomes, report) = evaluate_guarded_slice(
+            &[low.prepare(), high.prepare()],
+            &[0.5],
+            1,
+            &[],
+            Parallelism::Off,
+        );
+        assert!(outcomes.is_empty());
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "effort cap beyond ladder top")]
+    fn cap_beyond_top_panics() {
+        let low = model(21, &[0]);
+        let high = model(22, &[0, 1]);
+        let _ = evaluate_guarded_slice(
+            &[low.prepare(), high.prepare()],
+            &[0.5],
+            2,
+            &[],
+            Parallelism::Off,
+        );
+    }
+}

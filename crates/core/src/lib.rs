@@ -16,6 +16,9 @@
 //!   against a [`pivot_vit::PreparedModel`] view (weights materialized
 //!   once per sweep): one wide GEMM per layer per chunk, bit-identical to
 //!   per-sample inference.
+//! * [`guarded`] — guarded prepared evaluation over raw image slices with
+//!   an effort cap: the per-request cascade primitive online serving
+//!   (`pivot-serve`) builds on.
 //! * [`parallel`] — the deterministic persistent worker pool behind
 //!   every batched evaluation ([`Parallelism`], [`par_map`]).
 //! * [`phase2`] — the hardware-in-the-loop search for the optimal effort
@@ -38,6 +41,7 @@ pub mod cache;
 pub mod cascade;
 pub mod error;
 pub mod faults;
+pub mod guarded;
 pub mod multilevel;
 pub mod parallel;
 pub mod path;
@@ -55,7 +59,8 @@ pub use batched::{
 pub use cache::{CascadeCache, DegradationEvent, DegradationReport};
 pub use cascade::{stays_low, CascadeOutcome, CascadeStats, MultiEffortVit};
 pub use error::PivotError;
-pub use faults::{FaultInjector, FaultKind, InjectedFault};
+pub use faults::{FaultInjector, FaultKind, InjectedFault, StallSchedule};
+pub use guarded::{evaluate_guarded_slice, GuardedOutcome};
 pub use multilevel::{EffortLadder, LadderCache, LadderOutcome, LadderStats};
 pub use parallel::{par_map, Parallelism};
 pub use path::PathConfig;

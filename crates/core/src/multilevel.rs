@@ -378,6 +378,35 @@ impl LadderCache {
         self.entries[level].iter().filter(|e| e.is_some()).count()
     }
 
+    /// Approximate heap bytes held by the memoized logit rows — the part
+    /// of the cache that grows as samples ascend the ladder.
+    pub fn logits_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.logits.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Clears every memoized entry in place, keeping the cache's level and
+    /// sample dimensions (and its slot allocation) for reuse.
+    ///
+    /// This is the memory-bounding API for long-lived consumers: a cache
+    /// sized for one calibration window can be reset between windows
+    /// instead of reallocated, and resetting guarantees the memo never
+    /// outgrows `levels x n_samples` entries no matter how many
+    /// evaluations run through it. A reset cache behaves exactly like a
+    /// freshly constructed one (the memo only affects *what is re-run*,
+    /// never the results — see the evaluation invariants above).
+    pub fn reset(&mut self) {
+        for level in &mut self.entries {
+            for slot in level.iter_mut() {
+                *slot = None;
+            }
+        }
+    }
+
     /// The memoized logits of sample `i` at `level`, if that level was
     /// ever reached by that sample.
     pub fn logits(&self, level: usize, i: usize) -> Option<&Matrix> {
@@ -747,6 +776,54 @@ mod tests {
             .filter(|s| ms[1].infer(&s.image).row_argmax(0) == s.label)
             .count();
         assert_eq!(stats.per_level[2].1, mid_correct);
+    }
+
+    #[test]
+    fn reset_cache_is_bounded_and_behaves_like_fresh() {
+        let ms = models(40);
+        let set = samples(41);
+        let ladder = EffortLadder::new(ms, vec![0.0, 0.0]);
+        let mut cache = ladder.cache(set.len());
+        let first = cache.evaluate(
+            ladder.prepared_levels(),
+            &set,
+            ladder.thresholds(),
+            Parallelism::Off,
+        );
+        let filled_bytes = cache.logits_bytes();
+        assert!(filled_bytes > 0);
+        assert_eq!(cache.cached_count(2), set.len());
+
+        // Reset keeps the dimensions but frees every memoized entry...
+        cache.reset();
+        assert_eq!(cache.depth(), 3);
+        assert_eq!(cache.len(), set.len());
+        assert_eq!(cache.logits_bytes(), 0);
+        for level in 0..3 {
+            assert_eq!(cache.cached_count(level), 0);
+        }
+
+        // ...and re-evaluating reproduces the fresh-cache results exactly,
+        // with the footprint returning to the same bound instead of
+        // growing across reuse cycles.
+        let again = cache.evaluate(
+            ladder.prepared_levels(),
+            &set,
+            ladder.thresholds(),
+            Parallelism::Off,
+        );
+        assert_eq!(first, again);
+        assert_eq!(cache.logits_bytes(), filled_bytes);
+        for _ in 0..3 {
+            cache.reset();
+            cache.evaluate(
+                ladder.prepared_levels(),
+                &set,
+                ladder.thresholds(),
+                Parallelism::Off,
+            );
+            assert_eq!(cache.logits_bytes(), filled_bytes, "memo must not grow");
+        }
     }
 
     #[test]

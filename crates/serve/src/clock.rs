@@ -1,0 +1,80 @@
+//! The engine's notion of time: real for production, manual for tests.
+//!
+//! Every latency decision in the engine — deadline admission, queue-age
+//! overload detection, response latencies — reads one [`ServeClock`]. The
+//! wall variant anchors at construction and reports elapsed nanoseconds;
+//! the manual variant is an atomic counter tests advance explicitly, so
+//! deadline-miss and timeout paths (driven by the deterministic
+//! [`StallSchedule`](pivot_core::StallSchedule) fault mode) replay
+//! bit-identically with no actual waiting and no wall-clock flakiness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock shared between the server handle and the
+/// engine thread. Cloning shares the underlying time source.
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Real time, measured from the moment the clock was created.
+    Wall(Instant),
+    /// Virtual time: starts at zero, advances only via [`Self::advance`].
+    Manual(Arc<AtomicU64>),
+}
+
+impl ServeClock {
+    /// A real-time clock anchored at now.
+    pub fn wall() -> Self {
+        Self::Wall(Instant::now())
+    }
+
+    /// A virtual clock starting at zero.
+    pub fn manual() -> Self {
+        Self::Manual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Nanoseconds since the clock's origin.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Self::Wall(origin) => origin.elapsed().as_nanos() as u64,
+            Self::Manual(ns) => ns.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Charges a duration to the clock: a manual clock jumps forward, a
+    /// wall clock actually sleeps. This is how injected stall faults cost
+    /// real time in production and virtual time in tests.
+    pub fn advance(&self, d: Duration) {
+        match self {
+            Self::Wall(_) => std::thread::sleep(d),
+            Self::Manual(ns) => {
+                ns.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_starts_at_zero_and_advances_exactly() {
+        let clock = ServeClock::manual();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(clock.now_ns(), 3_000_000);
+        // Clones share the time source.
+        let shared = clock.clone();
+        shared.advance(Duration::from_nanos(7));
+        assert_eq!(clock.now_ns(), 3_000_007);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = ServeClock::wall();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

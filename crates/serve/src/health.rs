@@ -1,0 +1,118 @@
+//! Aggregate server health: the accounting ledger the robustness contract
+//! is audited against.
+//!
+//! Every submission increments exactly one admission counter and — if
+//! admitted — exactly one resolution counter, so at drain the identity
+//! `submitted == shed + completed + degraded + timed_out + failed` holds.
+//! The ledger also merges every batch's
+//! [`DegradationReport`](pivot_core::DegradationReport), folding the
+//! offline fault-accounting vocabulary (DESIGN.md §5) into the online one.
+
+use pivot_core::DegradationReport;
+use std::fmt;
+
+/// Snapshot of the server's cumulative counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthStats {
+    /// Requests offered to `submit` (admitted or not).
+    pub submitted: u64,
+    /// Requests rejected at admission (queue full or shutting down).
+    pub shed: u64,
+    /// Requests served at gate-chosen effort with finite logits.
+    pub completed: u64,
+    /// Requests served below fidelity (effort-capped or fault fallback).
+    pub degraded: u64,
+    /// Requests whose deadline expired before a useful answer existed.
+    pub timed_out: u64,
+    /// Requests that failed with a typed error (batch panic).
+    pub failed: u64,
+    /// Inference batches executed (including panicked ones).
+    pub batches: u64,
+    /// Batches that panicked and were isolated.
+    pub panics: u64,
+    /// Injected stall faults honored by the engine.
+    pub stalls: u64,
+    /// Overload-controller downshift steps.
+    pub downshifts: u64,
+    /// Overload-controller upshift (recovery) steps.
+    pub upshifts: u64,
+    /// Effort cap in force after the most recent batch.
+    pub effort_cap: usize,
+    /// Merged fault accounting across every executed batch.
+    pub report: DegradationReport,
+}
+
+impl HealthStats {
+    /// Requests that reached a terminal state after admission.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.degraded + self.timed_out + self.failed
+    }
+
+    /// Whether the ledger balances: every submission is either shed or
+    /// resolved. True at any quiescent point and always after drain.
+    pub fn accounted(&self) -> bool {
+        self.submitted == self.shed + self.resolved()
+    }
+}
+
+impl fmt::Display for HealthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted {} = shed {} + completed {} + degraded {} + timed_out {} + failed {} \
+             | {} batches ({} panicked, {} stalled), effort cap {} \
+             ({} down / {} up), {}",
+            self.submitted,
+            self.shed,
+            self.completed,
+            self.degraded,
+            self.timed_out,
+            self.failed,
+            self.batches,
+            self.panics,
+            self.stalls,
+            self.effort_cap,
+            self.downshifts,
+            self.upshifts,
+            self.report,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity_detects_leaks() {
+        let mut h = HealthStats {
+            submitted: 10,
+            shed: 2,
+            completed: 5,
+            degraded: 1,
+            timed_out: 1,
+            failed: 1,
+            ..HealthStats::default()
+        };
+        assert_eq!(h.resolved(), 8);
+        assert!(h.accounted());
+        // A lost request breaks the ledger.
+        h.completed -= 1;
+        assert!(!h.accounted());
+    }
+
+    #[test]
+    fn display_reads_as_a_ledger_line() {
+        let h = HealthStats {
+            submitted: 3,
+            completed: 3,
+            batches: 1,
+            effort_cap: 1,
+            ..HealthStats::default()
+        };
+        let line = h.to_string();
+        assert!(line.contains("submitted 3"), "{line}");
+        assert!(line.contains("completed 3"), "{line}");
+        assert!(line.contains("no degradation events"), "{line}");
+    }
+}

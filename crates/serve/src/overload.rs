@@ -1,0 +1,223 @@
+//! The overload controller: a hysteretic effort-downshift state machine.
+//!
+//! PIVOT's premise is that effort is negotiable and deadlines are not.
+//! When the queue ages past its budget — the engine is not keeping up —
+//! blowing deadlines helps nobody; serving *cheaper* answers restores
+//! balance, because the cascade's lower efforts cost a fraction of the
+//! GEMM work (PAPER.md Phase 2 trades exactly this). The controller
+//! watches the age of the oldest queued request at every batch and moves
+//! a single cap through the effort ladder:
+//!
+//! * **Downshift** (one level per overloaded observation): oldest age
+//!   exceeds the budget → the cap drops, ultimately to level 0
+//!   (low-effort-only). Escalation-worthy samples then resolve as
+//!   `Degraded` instead of timing out.
+//! * **Recover** (hysteretic): only after `recover_after` *consecutive*
+//!   observations with age at or below `recover_ratio x budget` does the
+//!   cap rise one level. A single calm batch never re-opens the expensive
+//!   path — the asymmetry that prevents cap flapping at the boundary.
+//! * Ages between the calm line and the budget hold the cap and reset the
+//!   calm streak.
+
+use std::time::Duration;
+
+/// Tuning of the overload state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPolicy {
+    /// Oldest-queued-age budget: one observation above this downshifts
+    /// the cap one level.
+    pub queue_budget: Duration,
+    /// Fraction of the budget at or below which an observation counts as
+    /// calm (recovery evidence). Clamped to `[0, 1]` at construction.
+    pub recover_ratio: f64,
+    /// Consecutive calm observations required per upshift step.
+    pub recover_after: usize,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            queue_budget: Duration::from_millis(50),
+            recover_ratio: 0.5,
+            recover_after: 8,
+        }
+    }
+}
+
+/// The state machine. One instance per engine, observed once per batch.
+#[derive(Debug, Clone)]
+pub struct OverloadController {
+    top: usize,
+    cap: usize,
+    budget_ns: u64,
+    calm_line_ns: u64,
+    recover_after: usize,
+    calm_streak: usize,
+    downshifts: u64,
+    upshifts: u64,
+}
+
+impl OverloadController {
+    /// Creates a controller for a ladder whose highest level is `top`
+    /// (i.e. `levels - 1`), starting at full effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recover_after` is zero (recovery would be instant and
+    /// the hysteresis contract meaningless).
+    pub fn new(top: usize, policy: OverloadPolicy) -> Self {
+        assert!(policy.recover_after >= 1, "recover_after must be >= 1");
+        let budget_ns = policy.queue_budget.as_nanos() as u64;
+        let ratio = policy.recover_ratio.clamp(0.0, 1.0);
+        Self {
+            top,
+            cap: top,
+            budget_ns,
+            calm_line_ns: (budget_ns as f64 * ratio) as u64,
+            recover_after: policy.recover_after,
+            calm_streak: 0,
+            downshifts: 0,
+            upshifts: 0,
+        }
+    }
+
+    /// Feeds one queue-age observation and returns the effort cap to use
+    /// for the batch about to execute.
+    pub fn observe(&mut self, oldest_age: Duration) -> usize {
+        let age_ns = oldest_age.as_nanos() as u64;
+        if age_ns > self.budget_ns {
+            if self.cap > 0 {
+                self.cap -= 1;
+                self.downshifts += 1;
+            }
+            self.calm_streak = 0;
+        } else if age_ns <= self.calm_line_ns {
+            if self.cap < self.top {
+                self.calm_streak += 1;
+                if self.calm_streak >= self.recover_after {
+                    self.cap += 1;
+                    self.upshifts += 1;
+                    self.calm_streak = 0;
+                }
+            }
+        } else {
+            // The gray zone between calm and overloaded: hold the cap,
+            // restart the recovery clock.
+            self.calm_streak = 0;
+        }
+        self.cap
+    }
+
+    /// The current effort cap (highest ladder level the engine may run).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether the engine currently serves below full effort.
+    pub fn is_degraded(&self) -> bool {
+        self.cap < self.top
+    }
+
+    /// Total downshift steps taken.
+    pub fn downshifts(&self) -> u64 {
+        self.downshifts
+    }
+
+    /// Total upshift (recovery) steps taken.
+    pub fn upshifts(&self) -> u64 {
+        self.upshifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(top: usize) -> OverloadController {
+        OverloadController::new(
+            top,
+            OverloadPolicy {
+                queue_budget: Duration::from_millis(100),
+                recover_ratio: 0.5,
+                recover_after: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn sustained_overload_staircases_down_to_low_only() {
+        let mut c = controller(3);
+        assert_eq!(c.cap(), 3);
+        let over = Duration::from_millis(150);
+        assert_eq!(c.observe(over), 2);
+        assert_eq!(c.observe(over), 1);
+        assert_eq!(c.observe(over), 0);
+        // The floor holds: low-effort-only is the terminal degradation.
+        assert_eq!(c.observe(over), 0);
+        assert_eq!(c.downshifts(), 3);
+        assert!(c.is_degraded());
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_not_instant() {
+        let mut c = controller(2);
+        let over = Duration::from_millis(200);
+        let calm = Duration::from_millis(10);
+        c.observe(over);
+        assert_eq!(c.cap(), 1);
+        // Two calm observations are not enough (recover_after = 3)...
+        assert_eq!(c.observe(calm), 1);
+        assert_eq!(c.observe(calm), 1);
+        // ...the third restores one level, and the streak restarts.
+        assert_eq!(c.observe(calm), 2);
+        assert_eq!(c.upshifts(), 1);
+        assert!(!c.is_degraded());
+        // At full effort, calm observations are a no-op.
+        assert_eq!(c.observe(calm), 2);
+        assert_eq!(c.upshifts(), 1);
+    }
+
+    #[test]
+    fn gray_zone_holds_cap_and_resets_the_streak() {
+        let mut c = controller(2);
+        c.observe(Duration::from_millis(200)); // cap -> 1
+        let calm = Duration::from_millis(10);
+        let gray = Duration::from_millis(80); // between 50 (calm line) and 100 (budget)
+        c.observe(calm);
+        c.observe(calm);
+        // The gray observation wipes the two-calm streak...
+        assert_eq!(c.observe(gray), 1);
+        // ...so recovery needs three fresh calm ticks again.
+        c.observe(calm);
+        c.observe(calm);
+        assert_eq!(c.cap(), 1);
+        assert_eq!(c.observe(calm), 2);
+    }
+
+    #[test]
+    fn overload_mid_recovery_cancels_progress() {
+        let mut c = controller(1);
+        c.observe(Duration::from_millis(200)); // cap -> 0
+        c.observe(Duration::from_millis(1));
+        c.observe(Duration::from_millis(1));
+        // A fresh overload both wipes the streak and (already at 0) keeps
+        // the floor.
+        assert_eq!(c.observe(Duration::from_millis(300)), 0);
+        c.observe(Duration::from_millis(1));
+        c.observe(Duration::from_millis(1));
+        assert_eq!(c.cap(), 0);
+        assert_eq!(c.observe(Duration::from_millis(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "recover_after")]
+    fn zero_recovery_window_is_rejected() {
+        let _ = OverloadController::new(
+            1,
+            OverloadPolicy {
+                recover_after: 0,
+                ..OverloadPolicy::default()
+            },
+        );
+    }
+}

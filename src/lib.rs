@@ -19,6 +19,8 @@
 //!   energy simulator.
 //! * [`baselines`] — HeatViT / ViTCOD re-implementations and GPP platform
 //!   cost models.
+//! * [`serve`] — deadline-aware online serving: bounded admission,
+//!   micro-batch coalescing, overload-driven effort degradation.
 //!
 //! # Quickstart
 //!
@@ -31,6 +33,7 @@ pub use pivot_cka as cka;
 pub use pivot_core as core;
 pub use pivot_data as data;
 pub use pivot_nn as nn;
+pub use pivot_serve as serve;
 pub use pivot_sim as sim;
 pub use pivot_tensor as tensor;
 pub use pivot_vit as vit;
