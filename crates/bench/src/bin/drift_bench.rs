@@ -1,0 +1,61 @@
+//! Serving under difficulty drift (see DESIGN.md §7): replays each drift
+//! schedule through the deterministic `ReplayEngine` twice — once with
+//! the frozen Phase 2-style threshold, once with the adaptive
+//! `ThresholdController` — and compares back-half `F_L` and simulated
+//! energy-per-request. Writes the report to `BENCH_drift.json` at the
+//! workspace root.
+//!
+//! `drift_bench smoke` shrinks the stream and runs only the headline
+//! `ramp` plus the `stationary` control, asserting the acceptance bar:
+//! both ledgers balance, the adaptive policy's back-half `F_L` beats the
+//! static policy's under hardening drift, and it does so at equal or
+//! better energy per request. The full run additionally demands the
+//! issue's quantitative bar on the ramp: adaptive within ±5% of the LEC
+//! while static degrades ≥ 15%.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let report = pivot_bench::experiments::drift_bench(smoke);
+
+    for s in &report.scenarios {
+        assert!(
+            s.static_run.accounted && s.adaptive_run.accounted,
+            "{}: ledger leaked requests",
+            s.name
+        );
+        assert_eq!(s.static_run.retunes, 0, "{}: static policy retuned", s.name);
+    }
+    let ramp = report.scenario("ramp");
+    assert!(
+        ramp.adaptive_run.back_f_low > ramp.static_run.back_f_low,
+        "adaptive back-half F_L {:.3} must beat static {:.3} under hardening drift",
+        ramp.adaptive_run.back_f_low,
+        ramp.static_run.back_f_low
+    );
+    assert!(
+        ramp.adaptive_run.mean_energy_j <= ramp.static_run.mean_energy_j,
+        "adaptive energy {:.4} J/req must not exceed static {:.4} J/req",
+        ramp.adaptive_run.mean_energy_j,
+        ramp.static_run.mean_energy_j
+    );
+    if !smoke {
+        let lec = report.lec;
+        let static_shortfall = (lec - ramp.static_run.back_f_low) / lec;
+        let adaptive_shortfall = (lec - ramp.adaptive_run.back_f_low) / lec;
+        assert!(
+            static_shortfall >= 0.15,
+            "static back-half F_L {:.3} degraded only {:.0}% (need >= 15%)",
+            ramp.static_run.back_f_low,
+            static_shortfall * 100.0
+        );
+        assert!(
+            adaptive_shortfall.abs() <= 0.05,
+            "adaptive back-half F_L {:.3} outside +/-5% of LEC {lec}",
+            ramp.adaptive_run.back_f_low
+        );
+    }
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_drift.json");
+    std::fs::write(path, json).expect("write BENCH_drift.json");
+    println!("\nwrote {path}");
+}

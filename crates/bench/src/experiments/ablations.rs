@@ -1,4 +1,4 @@
-//! Ablations beyond the paper's figures (DESIGN.md §8): they quantify each
+//! Ablations beyond the paper's figures (DESIGN.md §9): they quantify each
 //! design choice PIVOT makes — CKA-guided path selection, the entropy
 //! regularizer, the input-aware gate, the input-stationary dataflow, the
 //! two-level ladder and the 8-bit deployment numerics.

@@ -1,0 +1,519 @@
+//! Serving under difficulty drift: static vs adaptive gate thresholds.
+//!
+//! Phase 2 picks the entropy threshold `Th` offline, on a calibration set
+//! whose difficulty mix is assumed stationary. Production traffic drifts:
+//! when inputs harden, low-effort entropies rise, fewer requests stay
+//! below the frozen `Th`, and the realized `F_L` collapses under the LEC
+//! the operating point was chosen for — every lost low exit is a full
+//! high-effort re-run, so energy-per-request climbs exactly when the
+//! fleet is busiest. This experiment measures that failure and the
+//! [`ThresholdController`](pivot_serve::ThresholdController) fix on
+//! deterministic drift schedules from `pivot-data`:
+//!
+//! * **static** — `Th` calibrated once on the stream's first
+//!   [`CALIBRATION`] requests (exactly Phase 2's
+//!   `CascadeCache::threshold_reaching`), then frozen.
+//! * **adaptive** — same starting point, but a sliding window of observed
+//!   low-effort entropies retunes `Th` after every batch to hold
+//!   `F_L >= LEC` (DESIGN.md §7).
+//!
+//! Both policies replay the *same* request stream through a
+//! [`ReplayEngine`] on a manual clock, so each trajectory is a pure
+//! function of (ladder, schedule, seed). Hardware cost comes from the
+//! cycle-accurate simulator: the tiny functional ladder (1 of 4
+//! attention layers active vs all 4) maps onto DeiT-S as a 3-of-12 vs
+//! 12-of-12 attention mask on the ZCU102 config, so a level-1 exit is
+//! charged the paper's re-computation overhead `E_L + E_H`
+//! ([`LadderEnergy`]). The headline `ramp` scenario hardens 0.05 → 0.95;
+//! the acceptance bar is the issue's: adaptive back-half `F_L` within
+//! ±5% of the LEC while static degrades ≥ 15%, at equal or better
+//! energy-per-request. Writes `BENCH_drift.json`.
+
+use crate::Table;
+use pivot_core::{CascadeCache, Parallelism};
+use pivot_data::{Dataset, DatasetConfig, DriftSchedule, Sample};
+use pivot_serve::{ChaosConfig, ReplayEngine, ServeConfig, ThresholdPolicy};
+use pivot_sim::{AcceleratorConfig, EnergyLedger, LadderEnergy, Simulator, VitGeometry};
+use pivot_tensor::{Matrix, Rng};
+use pivot_vit::{PreparedModel, TrainConfig, Trainer, VisionTransformer, VitConfig};
+use std::time::Duration;
+
+/// The low-exit constraint every scenario targets.
+pub const LEC: f64 = 0.5;
+/// Threshold sweep granularity (shared by calibration and the online
+/// controller, so a stationary mix converges bitwise).
+pub const STEP: f32 = 0.01;
+/// Requests per replay batch (one control tick per batch).
+pub const BATCH: usize = 16;
+/// Sliding-window size of the online controller.
+pub const WINDOW: usize = 256;
+/// Leading requests used to calibrate the static threshold.
+pub const CALIBRATION: usize = 128;
+
+/// One threshold policy's measured trajectory over a drift scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPolicyRun {
+    /// `static` or `adaptive`.
+    pub policy: &'static str,
+    /// Level-0 exit fraction over the whole stream.
+    pub f_low: f64,
+    /// Level-0 exit fraction over the back half of the stream — the
+    /// region the drift has moved away from the calibration mix.
+    pub back_f_low: f64,
+    /// Simulated mean energy per request, joules.
+    pub mean_energy_j: f64,
+    /// Simulated mean delay per request, ms.
+    pub mean_delay_ms: f64,
+    /// Gate threshold in force after the last batch.
+    pub final_th: f32,
+    /// Controller retunes applied (0 for the static policy).
+    pub retunes: u64,
+    /// Whether the health ledger balanced at drain.
+    pub accounted: bool,
+}
+
+/// Static-vs-adaptive comparison on one drift schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScenario {
+    /// Schedule name (`ramp` / `step` / `sinusoid` / `regimes` /
+    /// `stationary`).
+    pub name: &'static str,
+    /// Requests replayed per policy.
+    pub requests: usize,
+    /// The calibrated (Phase 2-style) threshold both policies start from.
+    pub static_th: f32,
+    /// The frozen-threshold run.
+    pub static_run: DriftPolicyRun,
+    /// The controller-driven run.
+    pub adaptive_run: DriftPolicyRun,
+}
+
+impl DriftScenario {
+    /// Relative back-half `F_L` shortfall of a run against the LEC:
+    /// `(LEC - back_f_low) / LEC`. Positive means the constraint is
+    /// violated; the issue's bar is static ≥ 0.15 while adaptive stays
+    /// within ±0.05 on the headline ramp.
+    pub fn back_shortfall(run: &DriftPolicyRun) -> f64 {
+        (LEC - run.back_f_low) / LEC
+    }
+}
+
+/// Full report: one scenario per drift schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftBench {
+    /// The shared low-exit constraint.
+    pub lec: f64,
+    /// Scenarios in run order (`ramp` first — the headline).
+    pub scenarios: Vec<DriftScenario>,
+}
+
+impl DriftBench {
+    /// Looks up a scenario by name.
+    pub fn scenario(&self, name: &str) -> &DriftScenario {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no scenario named {name}"))
+    }
+
+    /// Serializes the report as a JSON array (for `BENCH_drift.json`).
+    pub fn to_json(&self) -> String {
+        fn run(r: &DriftPolicyRun) -> String {
+            format!(
+                "{{\"f_low\": {:.4}, \"back_f_low\": {:.4}, \
+                 \"mean_energy_j\": {:.6}, \"mean_delay_ms\": {:.4}, \
+                 \"final_th\": {:.3}, \"retunes\": {}, \"accounted\": {}}}",
+                r.f_low,
+                r.back_f_low,
+                r.mean_energy_j,
+                r.mean_delay_ms,
+                r.final_th,
+                r.retunes,
+                r.accounted,
+            )
+        }
+        let mut out = String::from("[\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"scenario\": \"{}\", \"requests\": {}, \"lec\": {:.2}, \
+                 \"static_th\": {:.3}, \"static\": {}, \"adaptive\": {}}}{}\n",
+                s.name,
+                s.requests,
+                self.lec,
+                s.static_th,
+                run(&s.static_run),
+                run(&s.adaptive_run),
+                if i + 1 == self.scenarios.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Trains the two-level ladder whose low-effort entropy actually tracks
+/// input difficulty (untrained weights gate on noise): 1-of-4 attentions
+/// vs all 4, distilled from nothing — plain supervised training on the
+/// full-difficulty-range stripe set.
+fn trained_ladder(dcfg: &DatasetConfig) -> Vec<PreparedModel> {
+    let data = Dataset::generate(dcfg, 42);
+    let train = |weights_seed: u64, active: &[usize], train_seed: u64| {
+        let mut model =
+            VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(weights_seed));
+        model.set_active_attentions(active);
+        Trainer::new(TrainConfig {
+            epochs: 24,
+            batch_size: 16,
+            lr: 2e-3,
+            distill_weight: 0.0,
+            entropy_weight: 0.0,
+            grad_clip: 1.0,
+            warmup_fraction: 0.1,
+            seed: train_seed,
+        })
+        .train(&mut model, None, &data);
+        model.prepare()
+    };
+    vec![train(7, &[0], 3), train(8, &[0, 1, 2, 3], 4)]
+}
+
+/// The simulated hardware cost table the functional ladder maps onto:
+/// DeiT-S on the ZCU102, low effort = 3 of 12 attention layers (the same
+/// 1-in-4 ratio as the functional models), high effort = all 12.
+fn energy_ladder() -> LadderEnergy {
+    let sim = Simulator::new(AcceleratorConfig::zcu102());
+    let geom = VitGeometry::deit_s();
+    let low: Vec<bool> = (0..geom.depth).map(|i| i < geom.depth / 4).collect();
+    let high = vec![true; geom.depth];
+    LadderEnergy::from_masks(&sim, &geom, &[low, high])
+}
+
+/// Replays `stream` through one policy and folds exits into the energy
+/// ledger. `adaptive` is `None` for the frozen-threshold baseline.
+fn run_policy(
+    policy: &'static str,
+    levels: Vec<PreparedModel>,
+    static_th: f32,
+    adaptive: Option<ThresholdPolicy>,
+    stream: &[Sample],
+    costs: &LadderEnergy,
+) -> DriftPolicyRun {
+    let config = ServeConfig {
+        parallelism: Parallelism::Off,
+        threshold: adaptive,
+        ..ServeConfig::default()
+    };
+    let mut eng = ReplayEngine::new(levels, vec![static_th], config, ChaosConfig::default());
+    let mut ledger = EnergyLedger::new();
+    let half = stream.len() / 2;
+    let (mut back_low, mut back_total, mut seen) = (0u64, 0u64, 0usize);
+    for chunk in stream.chunks(BATCH) {
+        let images: Vec<Matrix> = chunk.iter().map(|s| s.image.clone()).collect();
+        let responses = eng.process(&images, Duration::from_secs(60));
+        eng.clock().advance(Duration::from_millis(1));
+        for r in &responses {
+            let served = r
+                .outcome
+                .served()
+                .expect("healthy unloaded replay serves every request");
+            ledger.charge(costs, served.level);
+            if seen >= half {
+                back_total += 1;
+                if served.level == 0 {
+                    back_low += 1;
+                }
+            }
+            seen += 1;
+        }
+    }
+    let h = eng.health();
+    DriftPolicyRun {
+        policy,
+        f_low: ledger.f_low(),
+        back_f_low: back_low as f64 / back_total.max(1) as f64,
+        mean_energy_j: ledger.mean_energy_j(),
+        mean_delay_ms: ledger.mean_delay_ms(),
+        final_th: h.threshold,
+        retunes: h.retunes,
+        accounted: h.accounted(),
+    }
+}
+
+/// Runs one schedule: generate the stream, calibrate the static threshold
+/// on its head, then replay both policies over identical requests.
+fn run_scenario(
+    name: &'static str,
+    dcfg: &DatasetConfig,
+    levels: &[PreparedModel],
+    costs: &LadderEnergy,
+    schedule: &DriftSchedule,
+    n: usize,
+    seed: u64,
+) -> DriftScenario {
+    let stream = Dataset::generate_drift(dcfg, schedule, n, seed);
+    let calib = CALIBRATION.min(n);
+    let cache = CascadeCache::build_prepared(&levels[0], &stream[..calib], Parallelism::Off);
+    let static_th = cache.threshold_reaching(LEC, STEP);
+
+    let policy = ThresholdPolicy {
+        lec: LEC,
+        window: WINDOW,
+        tick_batches: 1,
+        min_fill: BATCH,
+        step: STEP,
+        floor: 0.0,
+        ceil: 1.0,
+    };
+    let static_run = run_policy("static", levels.to_vec(), static_th, None, &stream, costs);
+    let adaptive_run = run_policy(
+        "adaptive",
+        levels.to_vec(),
+        static_th,
+        Some(policy),
+        &stream,
+        costs,
+    );
+    DriftScenario {
+        name,
+        requests: n,
+        static_th,
+        static_run,
+        adaptive_run,
+    }
+}
+
+/// Runs the drift benchmark: trains the ladder once, then replays every
+/// drift schedule under both threshold policies and prints the
+/// comparison. `smoke` shrinks the stream and skips the secondary
+/// schedules for CI.
+pub fn drift_bench(smoke: bool) -> DriftBench {
+    println!("\n=== Serving under difficulty drift (static vs adaptive Th) ===");
+    let dcfg = DatasetConfig {
+        classes: 4,
+        image_size: 16,
+        train_per_class: 50,
+        test_per_class: 10,
+        difficulty: (0.0, 1.0),
+    };
+    let levels = trained_ladder(&dcfg);
+    let costs = energy_ladder();
+    println!(
+        "ladder (DeiT-S on ZCU102): low {:.4} J / {:.2} ms, escalation {:.4} J / {:.2} ms per request",
+        costs.request_energy_j(0),
+        costs.request_delay_ms(0),
+        costs.request_energy_j(1),
+        costs.request_delay_ms(1),
+    );
+
+    let n = if smoke { 480 } else { 1280 };
+    let hardening = DriftSchedule::Ramp {
+        from: 0.05,
+        to: 0.95,
+        start: 0.0,
+        end: 1.0,
+    };
+    let mut scenarios = vec![
+        run_scenario("ramp", &dcfg, &levels, &costs, &hardening, n, 70),
+        run_scenario(
+            "stationary",
+            &dcfg,
+            &levels,
+            &costs,
+            &DriftSchedule::Stationary { difficulty: 0.5 },
+            n,
+            74,
+        ),
+    ];
+    if !smoke {
+        scenarios.push(run_scenario(
+            "step",
+            &dcfg,
+            &levels,
+            &costs,
+            &DriftSchedule::Step {
+                before: 0.2,
+                after: 0.8,
+                at: 0.5,
+            },
+            n,
+            71,
+        ));
+        scenarios.push(run_scenario(
+            "sinusoid",
+            &dcfg,
+            &levels,
+            &costs,
+            &DriftSchedule::Sinusoid {
+                base: 0.5,
+                amplitude: 0.4,
+                periods: 2.0,
+            },
+            n,
+            72,
+        ));
+        scenarios.push(run_scenario(
+            "regimes",
+            &dcfg,
+            &levels,
+            &costs,
+            &DriftSchedule::RegimeSwitch {
+                difficulties: vec![0.1, 0.8, 0.3, 0.9],
+                dwell: 0.25,
+            },
+            n,
+            73,
+        ));
+    }
+    let report = DriftBench {
+        lec: LEC,
+        scenarios,
+    };
+
+    let mut table = Table::new(&[
+        "Schedule",
+        "Policy",
+        "Th (final)",
+        "F_L",
+        "F_L (back half)",
+        "E/req (J)",
+        "Delay (ms)",
+        "Retunes",
+        "Ledger",
+    ]);
+    for s in &report.scenarios {
+        for r in [&s.static_run, &s.adaptive_run] {
+            table.row_owned(vec![
+                s.name.to_string(),
+                r.policy.to_string(),
+                format!("{:.3}", r.final_th),
+                format!("{:.3}", r.f_low),
+                format!("{:.3}", r.back_f_low),
+                format!("{:.4}", r.mean_energy_j),
+                format!("{:.2}", r.mean_delay_ms),
+                format!("{}", r.retunes),
+                if r.accounted { "balanced" } else { "LEAKED" }.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    let ramp = report.scenario("ramp");
+    println!(
+        "ramp (hardening 0.05->0.95, LEC {:.2}): static Th {:.3} collapses to back-half F_L {:.3} \
+         ({:.0}% under target); adaptive holds {:.3} at {:.4} J/req vs {:.4} J/req static",
+        LEC,
+        ramp.static_th,
+        ramp.static_run.back_f_low,
+        DriftScenario::back_shortfall(&ramp.static_run) * 100.0,
+        ramp.adaptive_run.back_f_low,
+        ramp.adaptive_run.mean_energy_j,
+        ramp.static_run.mean_energy_j,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The issue's acceptance bar, end to end and deterministic: under
+    /// the hardening ramp the adaptive controller holds the back-half
+    /// `F_L` within ±5% of the LEC while the frozen threshold degrades
+    /// at least 15%, at equal-or-better energy per request — and the
+    /// stationary control shows the adaptive policy changes nothing when
+    /// there is no drift to chase. Runs the full-size streams: the whole
+    /// replay is a ServeClock-scripted pure function, so the numbers
+    /// asserted here are the numbers `BENCH_drift.json` reports.
+    #[test]
+    fn drift_bench_meets_the_acceptance_bar() {
+        let report = drift_bench(false);
+        for s in &report.scenarios {
+            assert!(s.static_run.accounted, "{}: static ledger leaked", s.name);
+            assert!(
+                s.adaptive_run.accounted,
+                "{}: adaptive ledger leaked",
+                s.name
+            );
+            assert_eq!(s.static_run.retunes, 0, "static policy never retunes");
+            assert_eq!(
+                s.static_run.final_th, s.static_th,
+                "static Th must stay frozen"
+            );
+        }
+
+        let ramp = report.scenario("ramp");
+        assert!(
+            DriftScenario::back_shortfall(&ramp.static_run) >= 0.15,
+            "static Th must visibly collapse under hardening drift, got back F_L {:.3}",
+            ramp.static_run.back_f_low
+        );
+        assert!(
+            DriftScenario::back_shortfall(&ramp.adaptive_run).abs() <= 0.05,
+            "adaptive back F_L {:.3} outside +/-5% of LEC {LEC}",
+            ramp.adaptive_run.back_f_low
+        );
+        assert!(
+            ramp.adaptive_run.retunes > 0,
+            "the controller must actually retune under drift"
+        );
+        assert!(
+            ramp.adaptive_run.final_th > ramp.static_th,
+            "hardening inputs must push the gate up"
+        );
+        assert!(
+            ramp.adaptive_run.mean_energy_j <= ramp.static_run.mean_energy_j,
+            "holding F_L must not cost energy: adaptive {:.4} J vs static {:.4} J",
+            ramp.adaptive_run.mean_energy_j,
+            ramp.static_run.mean_energy_j
+        );
+
+        // No drift, nothing to chase: the adaptive policy stays near the
+        // calibrated point and matches the static baseline's F_L.
+        let flat = report.scenario("stationary");
+        assert!(
+            (flat.adaptive_run.final_th - flat.static_th).abs() <= 4.0 * STEP + 1e-6,
+            "stationary adaptive Th {:.3} wandered from calibrated {:.3}",
+            flat.adaptive_run.final_th,
+            flat.static_th
+        );
+        assert!(
+            (flat.adaptive_run.back_f_low - flat.static_run.back_f_low).abs() <= 0.1,
+            "stationary policies must agree: adaptive {:.3} vs static {:.3}",
+            flat.adaptive_run.back_f_low,
+            flat.static_run.back_f_low
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let run = |policy, th| DriftPolicyRun {
+            policy,
+            f_low: 0.5,
+            back_f_low: 0.5,
+            mean_energy_j: 0.1,
+            mean_delay_ms: 25.0,
+            final_th: th,
+            retunes: if policy == "adaptive" { 7 } else { 0 },
+            accounted: true,
+        };
+        let report = DriftBench {
+            lec: LEC,
+            scenarios: vec![DriftScenario {
+                name: "ramp",
+                requests: 480,
+                static_th: 0.43,
+                static_run: run("static", 0.43),
+                adaptive_run: run("adaptive", 0.51),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"scenario\": \"ramp\""));
+        assert!(json.contains("\"static_th\": 0.430"));
+        assert!(json.contains("\"retunes\": 7"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

@@ -8,6 +8,7 @@ mod ablations;
 mod accuracy;
 mod analysis;
 mod delay;
+mod drift;
 mod f32_gemm;
 mod faults;
 mod gpp;
@@ -24,6 +25,9 @@ pub use ablations::{
 pub use accuracy::{table2, table3, table4, ComparisonRow, EffortTableRow};
 pub use analysis::{fig3a, fig4a, fig4b, fig4c, fig8, fig9, LecPoint, PathAccuracyPoint};
 pub use delay::{fig1b, fig6a, fig6b, DelayShare, EnergyReduction};
+pub use drift::{
+    drift_bench, DriftBench, DriftPolicyRun, DriftScenario, BATCH, CALIBRATION, LEC, STEP, WINDOW,
+};
 pub use f32_gemm::{f32_speedup, F32Speedup, ShapeTiming, F32_BENCH_SHAPES, F32_TIMING_SLACK};
 pub use faults::{fault_injection, FaultReport, FaultSweepPoint};
 pub use gpp::{fig1c, fig7, GppMethodResult};

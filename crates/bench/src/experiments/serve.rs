@@ -271,6 +271,7 @@ pub fn serve_bench(smoke: bool) -> ServeBench {
         batch_window: service,
         parallelism: Parallelism::Off,
         overload,
+        threshold: None,
     };
 
     // Steady: bursts of 8 at half the service rate. Burst: bursts of 32
@@ -304,6 +305,12 @@ pub fn serve_bench(smoke: bool) -> ServeBench {
             deadline,
         },
     );
+    // The chaos deadline is an order of magnitude looser than the others:
+    // a panic unwind (backtrace capture included) costs wall time that
+    // scales with machine load, not with the calibrated service rate, and
+    // the scenario's contract is that post-panic requests get *served* —
+    // which a deadline sized only for healthy batches can turn into
+    // timeouts on a loaded CI host.
     let chaos = run_scenario(
         "chaos",
         levels,
@@ -318,7 +325,7 @@ pub fn serve_bench(smoke: bool) -> ServeBench {
             requests: n,
             burst_size: 8,
             gap: service * 16,
-            deadline,
+            deadline: deadline * 10,
         },
     );
 

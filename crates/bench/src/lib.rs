@@ -1,5 +1,5 @@
 //! Experiment harnesses that regenerate every table and figure of the
-//! PIVOT paper (see `DESIGN.md` §7 for the index).
+//! PIVOT paper (see `DESIGN.md` §8 for the index).
 //!
 //! Each experiment is a function in [`experiments`] that takes the shared
 //! [`Reproduction`] state and prints a paper-style report (with the paper's

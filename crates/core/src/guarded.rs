@@ -49,6 +49,13 @@ pub struct GuardedOutcome {
     pub level: usize,
     /// Normalized entropy of the exit level's logits (NaN if faulted).
     pub entropy: f32,
+    /// Normalized entropy observed at level 0 (the cascade's low effort),
+    /// which every sample visits regardless of where it exits. This is
+    /// the signal an online threshold controller tunes against: the gate
+    /// decision `stays_low(low_entropy, Th)` for any candidate `Th` is
+    /// computable from it without re-running inference. NaN if level 0
+    /// was faulted.
+    pub low_entropy: f32,
     /// Whether the sample exited at the effort cap while its entropy
     /// still demanded escalation — the signature of an overload-degraded
     /// answer. Always `false` when the cap is the full ladder top and for
@@ -79,6 +86,13 @@ struct LevelObs {
 /// Each level's inference is one batched sweep over exactly the samples
 /// that reached it, so a size-`B` slice costs the same GEMM work as the
 /// offline cache path would spend on those `B` samples.
+///
+/// `thresholds` is a **per-batch parameter**, not a ladder constant: an
+/// online caller may pass a different gate threshold on every invocation
+/// (the `pivot-serve` adaptive threshold controller retunes `Th` between
+/// batches), and each outcome additionally carries the level-0 entropy
+/// ([`GuardedOutcome::low_entropy`]) so the controller can evaluate any
+/// candidate threshold against observed traffic without extra inference.
 ///
 /// # Panics
 ///
@@ -164,6 +178,7 @@ pub fn evaluate_guarded_slice(
             prediction,
             level: exit_level,
             entropy: top.entropy,
+            low_entropy: walk[0].entropy,
             capped,
             exit_finite: top.finite,
             fault_fallback,
@@ -367,6 +382,35 @@ mod tests {
             assert!(o.exit_finite);
             assert_eq!(o.prediction, high_p.infer(&s.image).row_argmax(0));
         }
+    }
+
+    /// `low_entropy` is always the level-0 observation: bit-equal to
+    /// `entropy` for samples that exit low, and bit-equal to the offline
+    /// cache's low-effort entropy for every sample regardless of exit.
+    #[test]
+    fn low_entropy_is_the_level_zero_observation_for_every_exit() {
+        let low = model(23, &[0]);
+        let high = model(24, &[0, 1]);
+        let set = samples(20, 25);
+        let low_p = low.prepare();
+        let cache = CascadeCache::build_prepared(&low_p, &set, Parallelism::Off);
+        let (outcomes, _) = evaluate_guarded_slice(
+            &[low_p, high.prepare()],
+            &[0.5],
+            1,
+            &images(&set),
+            Parallelism::Off,
+        );
+        let mut escalated = 0;
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.low_entropy.to_bits(), cache.entropies()[i].to_bits());
+            if o.level == 0 {
+                assert_eq!(o.low_entropy.to_bits(), o.entropy.to_bits());
+            } else {
+                escalated += 1;
+            }
+        }
+        assert!(escalated > 0, "test set must exercise escalation");
     }
 
     #[test]

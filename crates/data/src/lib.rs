@@ -25,9 +25,11 @@
 
 #![deny(missing_docs)]
 
+mod drift;
 mod generator;
 mod sampler;
 
+pub use drift::DriftSchedule;
 pub use generator::{pattern, PatternKind};
 pub use sampler::BatchIter;
 

@@ -13,6 +13,7 @@ use crate::health::HealthStats;
 use crate::overload::OverloadController;
 use crate::queue::Pending;
 use crate::request::{ServeError, ServeOutcome, ServeResponse, Served};
+use crate::threshold::ThresholdController;
 use pivot_core::{evaluate_guarded_slice, Parallelism, StallSchedule};
 use pivot_tensor::Matrix;
 use pivot_vit::PreparedModel;
@@ -42,6 +43,7 @@ pub(crate) struct EngineCore {
     levels: Vec<PreparedModel>,
     thresholds: Vec<f32>,
     controller: OverloadController,
+    tuner: Option<ThresholdController>,
     par: Parallelism,
     chaos: ChaosConfig,
     clock: ServeClock,
@@ -50,10 +52,14 @@ pub(crate) struct EngineCore {
 }
 
 impl EngineCore {
+    // The engine genuinely owns this many collaborators; bundling them
+    // into a one-use struct would only rename the argument list.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         levels: Vec<PreparedModel>,
         thresholds: Vec<f32>,
         controller: OverloadController,
+        tuner: Option<ThresholdController>,
         par: Parallelism,
         chaos: ChaosConfig,
         clock: ServeClock,
@@ -63,6 +69,7 @@ impl EngineCore {
             levels,
             thresholds,
             controller,
+            tuner,
             par,
             chaos,
             clock,
@@ -176,10 +183,30 @@ impl EngineCore {
                     };
                     self.respond(p, outcome, done);
                 }
+                // 6. Close the threshold control loop: every executed
+                //    sample's level-0 entropy is drift evidence, and a due
+                //    control tick retunes the gate for the *next* batch —
+                //    unless the overload cap is engaged, which outranks
+                //    the tuner (precedence contract: a held retune is
+                //    counted, not applied).
+                if let Some(tuner) = self.tuner.as_mut() {
+                    for o in &outcomes {
+                        tuner.observe(o.low_entropy);
+                    }
+                    let th = tuner.end_batch(self.controller.is_degraded());
+                    if let Some(gate) = self.thresholds.first_mut() {
+                        *gate = th;
+                    }
+                }
                 let mut health = lock(&self.health);
                 health.completed += completed;
                 health.degraded += degraded;
                 health.timed_out += timed_out;
+                health.threshold = self.thresholds.first().copied().unwrap_or(1.0);
+                if let Some(tuner) = self.tuner.as_ref() {
+                    health.retunes = tuner.retunes();
+                    health.th_holds = tuner.holds();
+                }
                 health.report.merge(report);
             }
         }
@@ -235,6 +262,7 @@ mod tests {
             lv,
             th,
             controller,
+            None,
             Parallelism::Off,
             chaos,
             clock,

@@ -38,6 +38,15 @@ pub struct HealthStats {
     pub upshifts: u64,
     /// Effort cap in force after the most recent batch.
     pub effort_cap: usize,
+    /// Gate threshold (`Th`) in force after the most recent executed
+    /// batch — Phase 2's static pick unless the adaptive controller is
+    /// retuning it. `1.0` for a single-level ladder (no gate).
+    pub threshold: f32,
+    /// Adaptive-threshold retunes applied by the controller.
+    pub retunes: u64,
+    /// Adaptive-threshold retunes held because the overload cap was
+    /// engaged (the precedence contract: the cap outranks the gate).
+    pub th_holds: u64,
     /// Merged fault accounting across every executed batch.
     pub report: DegradationReport,
 }
@@ -61,7 +70,7 @@ impl fmt::Display for HealthStats {
             f,
             "submitted {} = shed {} + completed {} + degraded {} + timed_out {} + failed {} \
              | {} batches ({} panicked, {} stalled), effort cap {} \
-             ({} down / {} up), {}",
+             ({} down / {} up), Th {:.3} ({} retunes / {} held), {}",
             self.submitted,
             self.shed,
             self.completed,
@@ -74,6 +83,9 @@ impl fmt::Display for HealthStats {
             self.effort_cap,
             self.downshifts,
             self.upshifts,
+            self.threshold,
+            self.retunes,
+            self.th_holds,
             self.report,
         )
     }

@@ -17,6 +17,12 @@
 //!   downshifts the cascade's effort cap (ultimately to low-effort-only)
 //!   so answers degrade instead of dying, recovering hysteretically when
 //!   pressure lifts.
+//! * **Adaptive gating under drift** — the entropy gate's threshold need
+//!   not stay at Phase 2's offline pick: an optional
+//!   [`ThresholdController`] retunes `Th` from a sliding window of
+//!   observed low-effort entropies to hold `F_L >= LEC` as the traffic's
+//!   difficulty mix drifts, deferring to the overload cap whenever it is
+//!   engaged (the cap outranks the gate — DESIGN.md §7).
 //! * **Typed terminal states** — every admitted request resolves as
 //!   exactly one of completed / degraded / timed-out / failed, and the
 //!   ledger identity `submitted == shed + completed + degraded +
@@ -68,12 +74,16 @@ mod engine;
 mod health;
 mod overload;
 mod queue;
+mod replay;
 mod request;
 mod server;
+mod threshold;
 
 pub use clock::ServeClock;
 pub use engine::ChaosConfig;
 pub use health::HealthStats;
 pub use overload::{OverloadController, OverloadPolicy};
+pub use replay::ReplayEngine;
 pub use request::{ServeError, ServeOutcome, ServeResponse, Served, SubmitError, Ticket};
 pub use server::{ServeConfig, Server};
+pub use threshold::{ThresholdController, ThresholdPolicy};

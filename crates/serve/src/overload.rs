@@ -13,11 +13,32 @@
 //!   (low-effort-only). Escalation-worthy samples then resolve as
 //!   `Degraded` instead of timing out.
 //! * **Recover** (hysteretic): only after `recover_after` *consecutive*
-//!   observations with age at or below `recover_ratio x budget` does the
-//!   cap rise one level. A single calm batch never re-opens the expensive
-//!   path — the asymmetry that prevents cap flapping at the boundary.
+//!   observations with age strictly below `recover_ratio x budget` does
+//!   the cap rise one level. A single calm batch never re-opens the
+//!   expensive path — the asymmetry that prevents cap flapping at the
+//!   boundary.
 //! * Ages between the calm line and the budget hold the cap and reset the
 //!   calm streak.
+//!
+//! # Interval convention
+//!
+//! The three zones partition the age axis as **calm = `[0, calm_line)`**,
+//! **hold = `[calm_line, budget]`**, **overload = `(budget, ∞)`** — calm is
+//! half-open on the right, hold is closed on both ends. The closed hold
+//! zone makes the boundary cases unambiguous:
+//!
+//! * `age == budget` is *at* budget, not over it: the cap holds and the
+//!   calm streak resets. Only strictly exceeding the budget downshifts.
+//! * `age == calm_line` is *not* calm: sitting exactly on the line is
+//!   evidence of equilibrium, not of slack, so it holds and resets the
+//!   streak rather than crediting recovery.
+//! * With `recover_ratio = 1.0` the hold zone collapses to the single
+//!   point `{budget}`. An exactly-at-budget age then holds the cap — it
+//!   never counts as recovery evidence while one nanosecond more
+//!   downshifts, which is the flapping hazard this convention removes.
+//! * With `recover_ratio = 0.0` the calm zone `[0, 0)` is empty and
+//!   recovery is unreachable by construction: the cap ratchets down only.
+//!   Use a positive ratio when upshift is desired.
 
 use std::time::Duration;
 
@@ -27,8 +48,10 @@ pub struct OverloadPolicy {
     /// Oldest-queued-age budget: one observation above this downshifts
     /// the cap one level.
     pub queue_budget: Duration,
-    /// Fraction of the budget at or below which an observation counts as
-    /// calm (recovery evidence). Clamped to `[0, 1]` at construction.
+    /// Fraction of the budget strictly below which an observation counts
+    /// as calm (recovery evidence). Clamped to `[0, 1]` at construction;
+    /// `0.0` makes recovery unreachable (see the module-level interval
+    /// convention).
     pub recover_ratio: f64,
     /// Consecutive calm observations required per upshift step.
     pub recover_after: usize,
@@ -83,6 +106,11 @@ impl OverloadController {
 
     /// Feeds one queue-age observation and returns the effort cap to use
     /// for the batch about to execute.
+    ///
+    /// Zones follow the module-level interval convention: strictly over
+    /// budget downshifts, strictly under the calm line credits the
+    /// recovery streak, and the closed band `[calm_line, budget]` holds
+    /// the cap while resetting the streak.
     pub fn observe(&mut self, oldest_age: Duration) -> usize {
         let age_ns = oldest_age.as_nanos() as u64;
         if age_ns > self.budget_ns {
@@ -91,7 +119,7 @@ impl OverloadController {
                 self.downshifts += 1;
             }
             self.calm_streak = 0;
-        } else if age_ns <= self.calm_line_ns {
+        } else if age_ns < self.calm_line_ns {
             if self.cap < self.top {
                 self.calm_streak += 1;
                 if self.calm_streak >= self.recover_after {
@@ -207,6 +235,86 @@ mod tests {
         c.observe(Duration::from_millis(1));
         assert_eq!(c.cap(), 0);
         assert_eq!(c.observe(Duration::from_millis(1)), 1);
+    }
+
+    /// Pins the interval convention at `recover_ratio = 1.0`, where the
+    /// hold zone collapses to exactly `{budget}`: at-budget holds (never
+    /// recovery evidence), one nanosecond more downshifts, one less is
+    /// calm.
+    #[test]
+    fn ratio_one_at_budget_holds_instead_of_recovering() {
+        let budget = Duration::from_millis(100);
+        let mut c = OverloadController::new(
+            2,
+            OverloadPolicy {
+                queue_budget: budget,
+                recover_ratio: 1.0,
+                recover_after: 1,
+            },
+        );
+        c.observe(budget + Duration::from_nanos(1)); // strictly over: downshift
+        assert_eq!(c.cap(), 1);
+        assert_eq!(c.downshifts(), 1);
+        // Exactly at budget: hold, even with recover_after = 1. Before the
+        // boundary fix this counted as calm and flapped the cap back up.
+        for _ in 0..5 {
+            assert_eq!(c.observe(budget), 1);
+        }
+        assert_eq!(c.upshifts(), 0);
+        // One nanosecond under budget is strictly under the (ratio-1.0)
+        // calm line: recovery evidence.
+        assert_eq!(c.observe(budget - Duration::from_nanos(1)), 2);
+        assert_eq!(c.upshifts(), 1);
+    }
+
+    /// Pins `age == calm_line` and `age == budget` in the generic (ratio
+    /// 0.5) geometry: both land in the closed hold zone and reset the
+    /// streak.
+    #[test]
+    fn boundary_ages_hold_and_reset_the_streak() {
+        let mut c = controller(2); // budget 100ms, calm line 50ms, recover_after 3
+        c.observe(Duration::from_millis(200)); // cap -> 1
+        let calm = Duration::from_millis(10);
+        let at_calm_line = Duration::from_millis(50);
+        let at_budget = Duration::from_millis(100);
+
+        // Exactly at the calm line: hold + streak reset.
+        c.observe(calm);
+        c.observe(calm);
+        assert_eq!(c.observe(at_calm_line), 1);
+        // Exactly at the budget: hold + streak reset (no downshift).
+        c.observe(calm);
+        c.observe(calm);
+        assert_eq!(c.observe(at_budget), 1);
+        assert_eq!(c.downshifts(), 1);
+        // Three fresh strictly-calm ticks recover.
+        c.observe(calm);
+        c.observe(calm);
+        assert_eq!(c.observe(calm), 2);
+        // Just under the calm line is calm; the line itself is not.
+        c.observe(Duration::from_millis(300)); // cap -> 1
+        c.observe(Duration::from_millis(49));
+        c.observe(Duration::from_millis(49));
+        assert_eq!(c.observe(Duration::from_millis(49)), 2);
+    }
+
+    /// With `recover_ratio = 0.0` the calm zone is empty: the cap only
+    /// ratchets down, and even a zero-age observation holds.
+    #[test]
+    fn ratio_zero_makes_recovery_unreachable() {
+        let mut c = OverloadController::new(
+            1,
+            OverloadPolicy {
+                queue_budget: Duration::from_millis(100),
+                recover_ratio: 0.0,
+                recover_after: 1,
+            },
+        );
+        c.observe(Duration::from_millis(200)); // cap -> 0
+        for _ in 0..10 {
+            assert_eq!(c.observe(Duration::ZERO), 0);
+        }
+        assert_eq!(c.upshifts(), 0);
     }
 
     #[test]

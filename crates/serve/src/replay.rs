@@ -1,0 +1,357 @@
+//! Deterministic single-threaded replay driver over the engine core.
+//!
+//! [`Server`](crate::Server) runs the engine on a worker thread behind the
+//! admission queue — right for production, wrong for experiments that must
+//! replay bit-identically: thread scheduling decides batch boundaries, and
+//! a wall clock decides coalescing. [`ReplayEngine`] removes both sources
+//! of nondeterminism. The caller forms every batch explicitly, time is a
+//! [`ServeClock::manual`] the caller advances, and each `process` call
+//! resolves synchronously — same classification, overload, threshold and
+//! chaos machinery as the live server, same health ledger, zero threads.
+//!
+//! This is the harness the drift benchmark and the controller acceptance
+//! tests drive: every `F_L` trajectory it produces is a pure function of
+//! (ladder, config, request stream, clock script).
+
+use crate::clock::ServeClock;
+use crate::engine::{ChaosConfig, EngineCore};
+use crate::health::HealthStats;
+use crate::overload::OverloadController;
+use crate::queue::Pending;
+use crate::request::ServeResponse;
+use crate::server::ServeConfig;
+use crate::threshold::ThresholdController;
+use pivot_tensor::Matrix;
+use pivot_vit::PreparedModel;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A synchronous, deterministic engine: batches in, typed responses out,
+/// on a virtual clock the caller scripts.
+pub struct ReplayEngine {
+    core: EngineCore,
+    clock: ServeClock,
+    health: Arc<Mutex<HealthStats>>,
+    next_id: u64,
+}
+
+impl ReplayEngine {
+    /// Builds a replay engine over an effort ladder on a fresh manual
+    /// clock. `config`'s overload, threshold and parallelism fields are
+    /// honored; its queue fields (`queue_capacity`, `max_batch`,
+    /// `batch_window`) are ignored — the caller forms batches explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Same ladder validation as [`Server::spawn`](crate::Server::spawn):
+    /// panics if `levels` is empty, thresholds don't match the gate count,
+    /// a threshold is outside `[0, 1]`, or adaptive threshold control is
+    /// requested on a gateless (single-level) ladder.
+    pub fn new(
+        levels: Vec<PreparedModel>,
+        thresholds: Vec<f32>,
+        config: ServeConfig,
+        chaos: ChaosConfig,
+    ) -> Self {
+        assert!(!levels.is_empty(), "need at least one effort level");
+        assert_eq!(
+            thresholds.len(),
+            levels.len() - 1,
+            "need one threshold per gate (levels - 1)"
+        );
+        assert!(
+            thresholds.iter().all(|t| (0.0..=1.0).contains(t)),
+            "entropy thresholds live in [0, 1]"
+        );
+        assert!(
+            config.threshold.is_none() || !thresholds.is_empty(),
+            "adaptive threshold control needs at least one gate (two levels)"
+        );
+        let clock = ServeClock::manual();
+        let initial_th = thresholds.first().copied().unwrap_or(1.0);
+        let health = Arc::new(Mutex::new(HealthStats {
+            effort_cap: levels.len() - 1,
+            threshold: initial_th,
+            ..HealthStats::default()
+        }));
+        let controller = OverloadController::new(levels.len() - 1, config.overload);
+        let tuner = config
+            .threshold
+            .map(|policy| ThresholdController::new(initial_th, policy));
+        let core = EngineCore::new(
+            levels,
+            thresholds,
+            controller,
+            tuner,
+            config.parallelism,
+            chaos,
+            clock.clone(),
+            Arc::clone(&health),
+        );
+        Self {
+            core,
+            clock,
+            health,
+            next_id: 0,
+        }
+    }
+
+    /// The engine's manual clock (shared source — advancing the returned
+    /// clone moves engine time).
+    pub fn clock(&self) -> ServeClock {
+        self.clock.clone()
+    }
+
+    /// Executes one batch synchronously: every image becomes a request
+    /// admitted *now* with the given relative deadline, and the returned
+    /// responses are in input order, one per image. The health ledger
+    /// counts each image as submitted, so it balances at every return.
+    pub fn process(&mut self, images: &[Matrix], deadline: Duration) -> Vec<ServeResponse> {
+        self.process_aged(images, Duration::ZERO, deadline)
+    }
+
+    /// Like [`Self::process`], but backdates every request's admission by
+    /// `queued_for` — scripting queue pressure without a queue. The
+    /// overload controller sees exactly that age, so overload and
+    /// recovery trajectories replay deterministically. The deadline is
+    /// relative to *now* (not the backdated admission).
+    pub fn process_aged(
+        &mut self,
+        images: &[Matrix],
+        queued_for: Duration,
+        deadline: Duration,
+    ) -> Vec<ServeResponse> {
+        let now = self.clock.now_ns();
+        let enqueued = now.saturating_sub(queued_for.as_nanos() as u64);
+        lock(&self.health).submitted += images.len() as u64;
+        let mut receivers = Vec::with_capacity(images.len());
+        let batch: Vec<Pending> = images
+            .iter()
+            .map(|image| {
+                let (tx, rx) = channel();
+                let id = self.next_id;
+                self.next_id += 1;
+                receivers.push(rx);
+                Pending {
+                    id,
+                    image: image.clone(),
+                    enqueued_ns: enqueued,
+                    deadline_ns: now.saturating_add(deadline.as_nanos() as u64),
+                    reply: tx,
+                }
+            })
+            .collect();
+        self.core.process(batch);
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.try_recv()
+                    .expect("process resolves every request synchronously")
+            })
+            .collect()
+    }
+
+    /// Snapshot of the cumulative health ledger.
+    pub fn health(&self) -> HealthStats {
+        lock(&self.health).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeOutcome;
+    use crate::threshold::ThresholdPolicy;
+    use pivot_core::Parallelism;
+    use pivot_data::{Dataset, DatasetConfig, DriftSchedule, Sample};
+    use pivot_tensor::Rng;
+    use pivot_vit::{VisionTransformer, VitConfig};
+    use std::time::Duration;
+
+    fn ladder() -> (Vec<PreparedModel>, Vec<f32>) {
+        let mut low = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(60));
+        low.set_active_attentions(&[0]);
+        let mut high = VisionTransformer::new(&VitConfig::test_small(), &mut Rng::new(61));
+        high.set_active_attentions(&[0, 1]);
+        (vec![low.prepare(), high.prepare()], vec![0.5])
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            parallelism: Parallelism::Off,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        Dataset::generate_difficulty_stripes(&DatasetConfig::small(), &[0.2, 0.8], n / 2, seed)
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_balances_the_ledger() {
+        let run = || {
+            let (levels, ths) = ladder();
+            let mut eng = ReplayEngine::new(levels, ths, config(), ChaosConfig::default());
+            let set = samples(16, 62);
+            let mut out = Vec::new();
+            for chunk in set.chunks(4) {
+                let images: Vec<Matrix> = chunk.iter().map(|s| s.image.clone()).collect();
+                out.extend(eng.process(&images, Duration::from_secs(1)));
+                eng.clock().advance(Duration::from_millis(1));
+            }
+            (out, eng.health())
+        };
+        let (a, ha) = run();
+        let (b, hb) = run();
+        assert_eq!(a, b, "bit-identical replay");
+        assert_eq!(ha, hb);
+        assert!(ha.accounted(), "ledger balances: {ha}");
+        assert_eq!(ha.resolved(), 16);
+        assert!(a
+            .iter()
+            .all(|r| matches!(r.outcome, ServeOutcome::Completed(_))));
+    }
+
+    #[test]
+    fn expired_deadlines_resolve_as_timeouts() {
+        let (levels, ths) = ladder();
+        let mut eng = ReplayEngine::new(levels, ths, config(), ChaosConfig::default());
+        let set = samples(4, 63);
+        let images: Vec<Matrix> = set.iter().map(|s| s.image.clone()).collect();
+        let responses = eng.process(&images, Duration::ZERO);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r.outcome, ServeOutcome::TimedOut { .. })));
+        let h = eng.health();
+        assert_eq!(h.timed_out, 4);
+        assert!(h.accounted());
+    }
+
+    fn tuned_config(lec: f64, window: usize, min_fill: usize) -> ServeConfig {
+        ServeConfig {
+            overload: crate::OverloadPolicy {
+                queue_budget: Duration::from_millis(10),
+                recover_ratio: 0.5,
+                recover_after: 2,
+            },
+            threshold: Some(ThresholdPolicy {
+                lec,
+                window,
+                tick_batches: 1,
+                min_fill,
+                step: 0.01,
+                floor: 0.0,
+                ceil: 1.0,
+            }),
+            ..config()
+        }
+    }
+
+    /// The precedence contract, end to end on one engine: while the
+    /// overload cap is engaged, the tuner ingests entropies but holds
+    /// every due retune (Th frozen, holds counted, cap moving); once calm
+    /// observations restore full effort, retuning resumes and applies the
+    /// accumulated windowed evidence.
+    #[test]
+    fn overload_cap_outranks_threshold_retuning() {
+        let (levels, ths) = ladder();
+        let initial_th = ths[0];
+        let mut eng = ReplayEngine::new(
+            levels,
+            ths,
+            tuned_config(0.5, 64, 1),
+            ChaosConfig::default(),
+        );
+        let set = samples(64, 64);
+        let images: Vec<Matrix> = set.iter().map(|s| s.image.clone()).collect();
+        let deadline = Duration::from_secs(5);
+
+        // Batch 1, fresh (age 0 < calm line): the tuner retunes.
+        eng.process(&images[..8], deadline);
+        let h = eng.health();
+        assert_eq!(h.effort_cap, 1, "calm batch keeps full effort");
+        assert_eq!((h.retunes, h.th_holds), (1, 0));
+        let tuned_th = h.threshold;
+        assert_ne!(tuned_th, initial_th, "observed traffic moved the gate");
+
+        // Batches 2-4 arrive aged past the queue budget: the cap
+        // downshifts (and floors), and every due retune is HELD — the
+        // threshold does not move while the cap is shedding effort.
+        // (Advance the clock first so backdated admission has room.)
+        eng.clock().advance(Duration::from_millis(100));
+        for chunk in images[8..32].chunks(8) {
+            eng.process_aged(chunk, Duration::from_millis(20), deadline);
+        }
+        let h = eng.health();
+        assert_eq!(h.effort_cap, 0, "over-budget observations floored the cap");
+        assert!(h.downshifts >= 1);
+        assert_eq!(h.retunes, 1, "no retune applied under overload");
+        assert_eq!(h.th_holds, 3, "each due tick was held, not dropped");
+        assert_eq!(h.threshold, tuned_th, "Th frozen while the cap moves");
+
+        // Pressure lifts: one calm batch is observed while still degraded
+        // (cap recovering) — still held. recover_after = 2, so the second
+        // calm batch restores the cap *before* end_batch runs, and the
+        // tuner resumes retuning on that very batch.
+        eng.process(&images[32..40], deadline);
+        let h = eng.health();
+        assert_eq!(h.effort_cap, 0, "one calm batch is not enough (hysteresis)");
+        assert_eq!(h.th_holds, 4);
+        eng.process(&images[40..48], deadline);
+        let h = eng.health();
+        assert_eq!(h.effort_cap, 1, "second calm batch recovered the cap");
+        assert_eq!(h.retunes, 2, "retuning resumed at full effort");
+        assert!(
+            h.accounted(),
+            "ledger balances through the whole episode: {h}"
+        );
+    }
+
+    /// Under a stationary mix the adaptive controller converges to within
+    /// one sweep-step of Phase 2's static threshold. With the window
+    /// sized to the whole stream the final retune sees exactly the
+    /// samples the offline search calibrates on, so the grid walks agree
+    /// bitwise — the strongest form of the convergence claim.
+    #[test]
+    fn stationary_mix_converges_to_phase2_static_threshold() {
+        use pivot_core::{CascadeCache, Parallelism};
+
+        let (levels, ths) = ladder();
+        let lec = 0.5;
+        let step = 0.01f32;
+        let n = 128;
+        let cfg = DatasetConfig::small();
+        let stream =
+            Dataset::generate_drift(&cfg, &DriftSchedule::Stationary { difficulty: 0.5 }, n, 65);
+
+        // Phase 2's offline answer on the same mix.
+        let cache = CascadeCache::build_prepared(&levels[0], &stream, Parallelism::Off);
+        let static_th = cache.threshold_reaching(lec, step);
+
+        // Online: window = min_fill = n, so exactly one retune fires, on
+        // the full stream.
+        let mut eng =
+            ReplayEngine::new(levels, ths, tuned_config(lec, n, n), ChaosConfig::default());
+        for chunk in stream.chunks(16) {
+            let images: Vec<Matrix> = chunk.iter().map(|s| s.image.clone()).collect();
+            eng.process(&images, Duration::from_secs(5));
+        }
+        let h = eng.health();
+        assert_eq!(h.retunes, 1, "window filled exactly once");
+        assert!(
+            (h.threshold - static_th).abs() <= step + 1e-6,
+            "adaptive Th {} vs static Th {static_th}: more than one sweep-step apart",
+            h.threshold
+        );
+        assert_eq!(
+            h.threshold.to_bits(),
+            static_th.to_bits(),
+            "same samples, same grid: the walks agree bitwise"
+        );
+    }
+}

@@ -13,6 +13,7 @@ use crate::health::HealthStats;
 use crate::overload::{OverloadController, OverloadPolicy};
 use crate::queue::{AdmissionQueue, Pending};
 use crate::request::{SubmitError, Ticket};
+use crate::threshold::{ThresholdController, ThresholdPolicy};
 use pivot_core::Parallelism;
 use pivot_tensor::Matrix;
 use pivot_vit::PreparedModel;
@@ -38,6 +39,13 @@ pub struct ServeConfig {
     pub parallelism: Parallelism,
     /// Overload-controller tuning.
     pub overload: OverloadPolicy,
+    /// Adaptive gate-threshold control. `None` (the default) serves with
+    /// the static thresholds passed at spawn — Phase 2's offline
+    /// operating point. `Some` closes the loop online: the first gate's
+    /// threshold is retuned from observed low-effort entropies to hold
+    /// `F_L >= lec` as traffic drifts (see
+    /// [`ThresholdPolicy`](crate::ThresholdPolicy)).
+    pub threshold: Option<ThresholdPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +56,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             parallelism: Parallelism::Auto,
             overload: OverloadPolicy::default(),
+            threshold: None,
         }
     }
 }
@@ -105,17 +114,27 @@ impl Server {
             "entropy thresholds live in [0, 1]"
         );
         assert!(config.max_batch >= 1, "max_batch must be >= 1");
+        assert!(
+            config.threshold.is_none() || !thresholds.is_empty(),
+            "adaptive threshold control needs at least one gate (two levels)"
+        );
 
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let initial_th = thresholds.first().copied().unwrap_or(1.0);
         let health = Arc::new(Mutex::new(HealthStats {
             effort_cap: levels.len() - 1,
+            threshold: initial_th,
             ..HealthStats::default()
         }));
         let controller = OverloadController::new(levels.len() - 1, config.overload);
+        let tuner = config
+            .threshold
+            .map(|policy| ThresholdController::new(initial_th, policy));
         let mut core = EngineCore::new(
             levels,
             thresholds,
             controller,
+            tuner,
             config.parallelism,
             chaos,
             clock.clone(),
@@ -123,9 +142,10 @@ impl Server {
         );
         let worker = {
             let queue = Arc::clone(&queue);
+            let worker_clock = clock.clone();
             let (max_batch, window) = (config.max_batch, config.batch_window);
             std::thread::spawn(move || {
-                while let Some(batch) = queue.next_batch(max_batch, window) {
+                while let Some(batch) = queue.next_batch(max_batch, window, &worker_clock) {
                     core.process(batch);
                 }
             })

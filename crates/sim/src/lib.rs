@@ -33,6 +33,7 @@ pub mod calib;
 mod combine;
 mod dataflow;
 mod energy;
+mod ladder;
 mod ps;
 mod report;
 mod simulator;
@@ -42,6 +43,7 @@ mod workload;
 pub use combine::{combine_efforts, CombinedPerf};
 pub use dataflow::{simulate_fold_cycles, Dataflow};
 pub use energy::{EnergyBreakdown, EnergyComponent};
+pub use ladder::{EnergyLedger, LadderEnergy};
 pub use ps::{PsConfig, PsOpKind};
 pub use report::{DelayBreakdown, EffortPerf, ModuleClass};
 pub use simulator::{AcceleratorConfig, ConfigError, LayerReport, Simulator};
